@@ -1,0 +1,40 @@
+"""Ablation — the check frequency "c" (Fig 2/Fig 3 line 1).
+
+"c" trades adaptation latency against checking overhead: checking every row
+(c=1) reacts fastest but pays the most checking work; very large c may miss
+the profitable switch window entirely on short queries. The paper uses
+c=10. Shape: total work is flat-ish across small c and degrades for very
+large c on this workload's short queries.
+"""
+
+from conftest import emit_report
+
+from repro.bench import ablation_experiment
+from repro.core.config import AdaptiveConfig, ReorderMode
+
+FREQUENCIES = (1, 5, 10, 50, 200)
+
+
+def test_check_frequency_ablation(benchmark, dmv_db, workload_small):
+    variants = {"static": AdaptiveConfig(mode=ReorderMode.NONE)}
+    for c in FREQUENCIES:
+        variants[f"c={c}"] = AdaptiveConfig(
+            mode=ReorderMode.BOTH,
+            check_frequency=c,
+            switch_benefit_threshold=0.2,
+        )
+    result = benchmark.pedantic(
+        lambda: ablation_experiment(dmv_db, workload_small, variants, "static"),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "ablation_check_frequency",
+        result.report("Ablation — reorder check frequency c (total work)"),
+    )
+    static_work = result.series["static"][0]
+    default_work = result.series["c=10"][0]
+    assert default_work < static_work, "c=10 must beat the static baseline"
+    # The paper's default c=10 should be within a few percent of the best c.
+    best = min(work for label, (work, _) in result.series.items() if label != "static")
+    assert default_work <= best * 1.10

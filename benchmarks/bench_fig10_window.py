@@ -1,0 +1,32 @@
+"""E7 — Fig 10: number of order switches vs history window size "w".
+
+Paper shape: with a small window the monitored estimates fluctuate and the
+average number of order switches per query is high (without performance
+benefit); from w >= 500 the switch count and performance are stable.
+"""
+
+from conftest import emit_report
+
+from repro.bench import window_sweep_experiment
+
+WINDOWS = (10, 50, 100, 200, 500, 800, 1000, 1200)
+
+
+def test_fig10_history_window(benchmark, dmv_db, workload_small):
+    result = benchmark.pedantic(
+        lambda: window_sweep_experiment(dmv_db, workload_small, WINDOWS),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("fig10_window", result.report())
+    switches = {w: s for w, (s, _) in result.series.items()}
+    # Small windows must switch at least as much as large ones (fluctuation),
+    # and the curve must flatten: the large-window plateau is stable.
+    small = switches[WINDOWS[0]]
+    plateau = [switches[w] for w in WINDOWS if w >= 500]
+    assert small >= max(plateau) - 1e-9, (
+        f"expected small-window fluctuation >= plateau: {switches}"
+    )
+    assert max(plateau) - min(plateau) <= max(0.35 * max(plateau), 0.5), (
+        f"plateau not stable: {switches}"
+    )

@@ -1,0 +1,24 @@
+"""E8 — Fig 11: six-table join reordering scatter (Sec 5.5).
+
+Paper shape: 100 six-table queries over the DMV data extended with Location
+and Time; most queries speed up (up to 8x), a few degrade because of
+incorrect index selection on the new driving leg.
+"""
+
+from conftest import emit_report
+
+from repro.bench import scatter_experiment
+
+
+def test_fig11_six_table(benchmark, dmv_extended, six_workload):
+    db, _ = dmv_extended
+    result = benchmark.pedantic(
+        lambda: scatter_experiment(db, six_workload), rounds=1, iterations=1
+    )
+    emit_report(
+        "fig11_six_table",
+        result.report("Fig 11 — six-table join reordering vs no switch"),
+    )
+    assert result.total_improvement > 0.05
+    assert result.max_speedup > 1.5
+    assert len(result.degraded) <= max(len(result.pairs) // 8, 8)

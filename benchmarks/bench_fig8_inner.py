@@ -1,0 +1,36 @@
+"""E4 — Fig 8: reordering only inner legs, per-template normalized time.
+
+Paper shape: per-template elapsed time with inner-only reordering is
+75-100% of the no-reorder time; queries whose inner order changed improve
+by roughly 10-20%.
+"""
+
+from conftest import emit_report
+
+from repro.bench import template_ratio_experiment
+from repro.core.config import ReorderMode
+
+
+def test_fig8_inner_only(benchmark, dmv_db, workload):
+    result = benchmark.pedantic(
+        lambda: template_ratio_experiment(dmv_db, workload, ReorderMode.INNER_ONLY),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "fig8_inner",
+        result.report("Fig 8 — inner-leg-only reordering (% of no-reorder time)"),
+    )
+    for template, (all_ratio, changed_ratio, changed) in result.ratios.items():
+        # Inner-only reordering must never blow up a template (its changes
+        # happen at depleted states and cost nothing to apply).
+        assert all_ratio < 1.05, f"template {template} regressed: {all_ratio:.2f}"
+    changed_ratios = [
+        changed_ratio
+        for _, changed_ratio, changed in result.ratios.values()
+        if changed
+    ]
+    assert changed_ratios, "no template had inner-order changes"
+    assert min(changed_ratios) < 0.95, (
+        "expected >=5% improvement on changed queries in some template"
+    )

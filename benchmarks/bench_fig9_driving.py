@@ -1,0 +1,31 @@
+"""E5 — Fig 9: reordering only driving legs, per-template normalized time.
+
+Paper shape: driving-leg switching is the aggressive mechanism — in the
+templates where it fires, average elapsed time drops below ~50-75% of the
+static plan; one template shows a slight regression (bad access path on the
+new driving leg, Sec 5.3) and one template sees no driving change at all.
+"""
+
+from conftest import emit_report
+
+from repro.bench import template_ratio_experiment
+from repro.core.config import ReorderMode
+
+
+def test_fig9_driving_only(benchmark, dmv_db, workload):
+    result = benchmark.pedantic(
+        lambda: template_ratio_experiment(
+            dmv_db, workload, ReorderMode.DRIVING_ONLY
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "fig9_driving",
+        result.report("Fig 9 — driving-leg-only reordering (% of no-reorder time)"),
+    )
+    ratios = [all_ratio for all_ratio, _, _ in result.ratios.values()]
+    # At least one template must show a large win from driving switches.
+    assert min(ratios) < 0.80, f"expected a template below 80%, got {ratios}"
+    # No template should catastrophically regress.
+    assert max(ratios) < 1.15, f"template regression too large: {ratios}"

@@ -1,0 +1,36 @@
+"""E9 — Sec 5.3 (closing paragraph): the "sophisticated statistics" ablation.
+
+The paper re-ran the experiments after collecting distribution/frequent-
+value statistics: the optimizer's plans improve, but adaptive reordering
+still delivered "huge improvements ... with up to two-fold speedups",
+because frequent-value statistics cannot capture cross-column correlation.
+
+Shape to reproduce: with detailed statistics the adaptive win shrinks
+relative to the basic-statistics setting, but remains positive with a
+multi-x best case.
+"""
+
+from conftest import emit_report
+
+from repro.bench import scatter_experiment
+
+
+def test_sec53_frequent_value_stats(benchmark, dmv_db, dmv_detailed, workload):
+    def run():
+        basic = scatter_experiment(dmv_db, workload)
+        detailed = scatter_experiment(dmv_detailed, workload)
+        return basic, detailed
+
+    basic, detailed = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = "\n\n".join(
+        [
+            basic.report("Sec 5.3 ablation — basic statistics (uniformity)"),
+            detailed.report("Sec 5.3 ablation — frequent-value statistics"),
+        ]
+    )
+    emit_report("sec53_stats_ablation", report)
+    # Adaptive reordering still wins with detailed statistics...
+    assert detailed.total_improvement > 0.0
+    assert detailed.max_speedup > 1.3
+    # ...but detailed statistics reduce how badly the static plans start out.
+    assert detailed.max_speedup <= basic.max_speedup * 1.25

@@ -1,0 +1,22 @@
+"""E1 — Table 1: DMV data set cardinalities.
+
+Regenerates the paper's Table 1 at the configured scale: the generated
+Owner/Car/Demographics/Accidents row counts must track the paper's
+cardinalities (scaled) within a few percent — the Car and Accidents tables
+are produced by random processes calibrated to Table 1's ratios.
+"""
+
+from conftest import SCALE, emit_report
+
+from repro.bench import table1_experiment
+
+
+def test_table1_cardinalities(benchmark, dmv_summary):
+    result = benchmark.pedantic(
+        lambda: table1_experiment(dmv_summary, SCALE), rounds=1, iterations=1
+    )
+    emit_report("table1_dataset", result.report())
+    for name, ours, expected in result.rows:
+        assert abs(ours - expected) / max(expected, 1) < 0.08, (
+            f"{name}: generated {ours}, expected ~{expected}"
+        )

@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SCALE``  — DMV scale factor; 1.0 = the paper's 100K owners.
+  Default 0.15 keeps the full suite around a few minutes.
+* ``REPRO_QPT``    — queries per template for the 4-table workload
+  (paper: 60, i.e. ~300 queries). Default 40.
+* ``REPRO_SIX``    — query count for the 6-table workload (paper: 100).
+  Default 40.
+
+Run at paper scale with::
+
+    REPRO_SCALE=1.0 REPRO_QPT=60 REPRO_SIX=100 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.catalog.statistics import StatisticsLevel
+from repro.dmv import four_table_workload, load_dmv, six_table_workload
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+QUERIES_PER_TEMPLATE = int(os.environ.get("REPRO_QPT", "40"))
+SIX_TABLE_QUERIES = int(os.environ.get("REPRO_SIX", "40"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def dmv():
+    """(db, summary) for the base 4-table DMV data set."""
+    return load_dmv(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def dmv_db(dmv):
+    return dmv[0]
+
+
+@pytest.fixture(scope="session")
+def dmv_summary(dmv):
+    return dmv[1]
+
+
+@pytest.fixture(scope="session")
+def dmv_detailed():
+    """DMV database analyzed with frequent-value statistics (Sec 5.3)."""
+    db, _ = load_dmv(scale=SCALE, stats=StatisticsLevel.DETAILED)
+    return db
+
+
+@pytest.fixture(scope="session")
+def dmv_extended():
+    """(db, summary) for the 6-table extended DMV data set (Sec 5.5)."""
+    return load_dmv(scale=SCALE, extended=True)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return four_table_workload(queries_per_template=QUERIES_PER_TEMPLATE)
+
+
+@pytest.fixture(scope="session")
+def workload_small():
+    """A reduced workload for parameter sweeps (Fig 10, ablations)."""
+    return four_table_workload(
+        queries_per_template=max(QUERIES_PER_TEMPLATE // 4, 5)
+    )
+
+
+@pytest.fixture(scope="session")
+def six_workload():
+    return six_table_workload(count=SIX_TABLE_QUERIES)

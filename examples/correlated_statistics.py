@@ -1,0 +1,67 @@
+"""The paper's Example 2: run-time monitoring sees through correlation.
+
+``make = 'Mazda' AND model = '323'`` — every 323 *is* a Mazda, so the
+conjunction is exactly as selective as the model predicate alone. A static
+optimizer multiplying per-column selectivities (independence assumption)
+underestimates the result by an order of magnitude; the run-time monitor
+measures the conjunction directly (Eq 6) and gets it right, which is what
+lets the adaptive controller re-cost plans correctly mid-query.
+
+Run with::
+
+    python examples/correlated_statistics.py
+"""
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.core.ranks import measured_combined_local_selectivity
+from repro.executor.pipeline import PipelineExecutor
+from repro.dmv import load_dmv
+
+SQL = (
+    "SELECT o.name, c.year FROM Owner o, Car c "
+    "WHERE c.ownerid = o.id AND c.make = 'Mazda' AND c.model = '323'"
+)
+
+
+def main() -> None:
+    db, _ = load_dmv(scale=0.05)
+    cars = db.catalog.table("Car").raw_rows()
+    make_slot = db.catalog.table("Car").schema.position_of("make")
+    model_slot = db.catalog.table("Car").schema.position_of("model")
+
+    actual_make = sum(1 for r in cars if r[make_slot] == "Mazda") / len(cars)
+    actual_model = sum(1 for r in cars if r[model_slot] == "323") / len(cars)
+    actual_both = (
+        sum(1 for r in cars if r[make_slot] == "Mazda" and r[model_slot] == "323")
+        / len(cars)
+    )
+    print(f"actual sel(make='Mazda')              = {actual_make:.4f}")
+    print(f"actual sel(model='323')               = {actual_model:.4f}")
+    print(f"actual sel(make AND model)            = {actual_both:.4f}")
+    print(f"independence assumption would predict = {actual_make * actual_model:.6f}")
+    print(
+        f"  -> under-estimated by {actual_both / (actual_make * actual_model):.1f}x "
+        "(the paper reports >13x on the real DMV data)\n"
+    )
+
+    # Run the join with Owner driving so Car is monitored as an inner leg,
+    # then read the monitored combined selectivity (Eq 6).
+    plan = db.plan(SQL)
+    order = ("o",) + tuple(a for a in plan.order if a != "o")
+    executor = PipelineExecutor(
+        plan.with_order(order),
+        db.catalog,
+        AdaptiveConfig(mode=ReorderMode.MONITOR_ONLY),
+    )
+    rows = executor.run_to_completion()
+    measured = measured_combined_local_selectivity(executor.legs["c"])
+    print(f"query returned {len(rows)} rows")
+    print(f"monitored combined selectivity (Eq 6) = {measured:.4f}")
+    print(
+        "The monitor measures the conjunction as a whole, so the "
+        "correlation is captured exactly (Sec 4.3.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

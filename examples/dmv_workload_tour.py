@@ -1,0 +1,60 @@
+"""Tour of the DMV evaluation workload (Sec 5) at laptop scale.
+
+Loads the synthetic DMV data set, runs a slice of the paper's 4-table query
+workload under all four measurement modes (static / inner-only /
+driving-only / both), and prints a per-query comparison — a miniature of
+Figures 7-9.
+
+Run with::
+
+    python examples/dmv_workload_tour.py [scale]
+"""
+
+import sys
+
+from repro.bench import format_table, run_workload, standard_configs
+from repro.dmv import four_table_workload, load_dmv
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"Loading DMV data set at scale {scale} (1.0 = 100K owners)...")
+    db, summary = load_dmv(scale=scale)
+    for name, count in summary.as_rows():
+        print(f"  {name:14s} {count:10,d} rows")
+
+    workload = four_table_workload(queries_per_template=4)
+    print(f"\nRunning {len(workload)} queries under 4 modes "
+          "(results are verified to match across modes)...")
+    result = run_workload(db, workload, standard_configs())
+
+    static = result.by_mode("static")
+    rows = []
+    totals = {mode: 0.0 for mode in result.modes()}
+    for qid, base in sorted(static.items()):
+        row = [qid, f"{base.work:,.0f}"]
+        for mode in ("inner-only", "driving-only", "both"):
+            measurement = result.by_mode(mode)[qid]
+            totals[mode] += measurement.work
+            ratio = measurement.work / max(base.work, 1e-9)
+            marker = "*" if measurement.order_changed else " "
+            row.append(f"{ratio * 100:6.1f}%{marker}")
+        totals["static"] += base.work
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["query", "static work", "inner-only", "driving-only", "both"],
+            rows,
+            title="Per-query work relative to the static plan "
+            "(* = join order changed)",
+        )
+    )
+    print()
+    for mode in ("inner-only", "driving-only", "both"):
+        improvement = (1 - totals[mode] / totals["static"]) * 100
+        print(f"total improvement, {mode:13s}: {improvement:6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

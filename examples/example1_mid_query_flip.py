@@ -1,0 +1,106 @@
+"""The paper's Example 1: the optimal join order changes *mid-query*.
+
+A scan over ``make IN ('Chevrolet', 'Mercedes')`` processes Chevrolets
+first (index key order). Chevrolet owners are rarely German but usually
+earn under 50k; Mercedes owners are often German but rarely earn under
+50k. So during the Chevrolet phase the Owner leg filters best, and during
+the Mercedes phase the Demographics leg does — "any fixed order of the
+Demographics and Owner tables would be suboptimal for the entire data set."
+
+This script builds exactly that data, pins the driving leg to Car, and
+shows the inner legs being reordered in the middle of the scan.
+
+Run with::
+
+    python examples/example1_mid_query_flip.py
+"""
+
+import random
+
+from repro import AdaptiveConfig, Database, ReorderMode
+from repro.core.controller import AdaptationController
+from repro.executor.pipeline import PipelineExecutor
+
+
+def build_database(owners: int = 6000, seed: int = 5) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table("Owner", [("id", "int"), ("name", "string"), ("country1", "string")])
+    db.create_table("Car", [("id", "int"), ("ownerid", "int"), ("make", "string")])
+    db.create_table("Demographics", [("ownerid", "int"), ("salary", "int")])
+    owner_rows, cars, demo = [], [], []
+    for i in range(owners):
+        if i % 2 == 0:  # Chevrolet world: US, modest income
+            make = "Chevrolet"
+            country = "Germany" if rng.random() < 0.05 else "United States"
+            salary = 20_000 + rng.randrange(25_000)
+        else:  # Mercedes world: often German, high income
+            make = "Mercedes"
+            country = "Germany" if rng.random() < 0.75 else "United States"
+            salary = 60_000 + rng.randrange(60_000)
+        owner_rows.append((i, f"owner{i}", country))
+        cars.append((i, i, make))
+        demo.append((i, salary))
+    db.insert("Owner", owner_rows)
+    db.insert("Car", cars)
+    db.insert("Demographics", demo)
+    for table, column in [
+        ("Owner", "id"), ("Car", "ownerid"), ("Car", "make"),
+        ("Demographics", "ownerid"), ("Demographics", "salary"),
+    ]:
+        db.create_index(table, column)
+    db.analyze()
+    return db
+
+
+SQL = """
+    SELECT o.name FROM Owner o, Car c, Demographics d
+    WHERE c.ownerid = o.id AND o.id = d.ownerid
+      AND (c.make = 'Chevrolet' OR c.make = 'Mercedes')
+      AND o.country1 = 'Germany' AND d.salary < 50000
+"""
+
+
+def run_with_order(db, plan, order, config):
+    controller = (
+        AdaptationController(config) if config.mode.monitors else None
+    )
+    executor = PipelineExecutor(plan.with_order(order), db.catalog, config, controller)
+    if controller is not None:
+        controller.attach(executor)
+    rows = executor.run_to_completion()
+    return rows, executor
+
+
+def main() -> None:
+    db = build_database()
+    plan = db.plan(SQL)
+    # Pin Car as the driving leg (the paper's "likely plan").
+    driving_first = ("c",) + tuple(a for a in plan.order if a != "c")
+
+    static = AdaptiveConfig(mode=ReorderMode.NONE)
+    adaptive = AdaptiveConfig(
+        mode=ReorderMode.INNER_ONLY, history_window=200, warmup_rows=5
+    )
+
+    rows_a, exec_a = run_with_order(db, plan, ("c", "o", "d"), static)
+    rows_b, exec_b = run_with_order(db, plan, ("c", "d", "o"), static)
+    rows_ad, exec_ad = run_with_order(db, plan, driving_first, adaptive)
+    assert sorted(rows_a) == sorted(rows_b) == sorted(rows_ad)
+
+    print(f"fixed order Car,Owner,Demographics : {exec_a.work_units:12,.0f} work units")
+    print(f"fixed order Car,Demographics,Owner : {exec_b.work_units:12,.0f} work units")
+    print(f"adaptive inner reordering          : {exec_ad.work_units:12,.0f} work units")
+    print(f"\ninner reorders during the scan: {exec_ad.inner_reorders}")
+    print("order history:")
+    for order in exec_ad.order_history:
+        print(f"  {order}")
+    print(
+        "\nThe pipeline starts in one order, and flips Owner/Demographics "
+        "when the scan moves from Chevrolets to Mercedes."
+    )
+
+
+
+if __name__ == "__main__":
+    main()

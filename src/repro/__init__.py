@@ -1,0 +1,61 @@
+"""repro: a reproduction of "Adaptively Reordering Joins during Query
+Execution" (Li, Shao, Markl, Beyer, Colby, Lohman - ICDE 2007).
+
+The package implements, from scratch:
+
+* an in-memory single-node DBMS substrate (heap tables, ordered indexes,
+  resumable cursors, deterministic work accounting),
+* a static cost-based optimizer with the classic uniformity/independence
+  assumptions,
+* a pipelined indexed nested-loop join executor, and
+* the paper's contribution: run-time reordering of both inner and driving
+  legs with monitored selectivities and duplicate prevention by positional
+  predicates.
+
+Public entry points: :class:`Database`, :class:`AdaptiveConfig`,
+:class:`ReorderMode`, and the DMV workload generators under
+:mod:`repro.dmv`.
+"""
+
+from repro.catalog.statistics import StatisticsLevel
+from repro.core.config import (
+    AdaptiveConfig,
+    HashProbePolicy,
+    InnerReorderPolicy,
+    ReorderMode,
+)
+from repro.db import Database, ExecutionStats, QueryResult
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SqlSyntaxError,
+    StorageError,
+)
+from repro.query.sql.parser import parse_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveConfig",
+    "CatalogError",
+    "Database",
+    "ExecutionError",
+    "ExecutionStats",
+    "HashProbePolicy",
+    "InnerReorderPolicy",
+    "PlanError",
+    "QueryError",
+    "QueryResult",
+    "ReorderMode",
+    "ReproError",
+    "SchemaError",
+    "SqlSyntaxError",
+    "StatisticsLevel",
+    "StorageError",
+    "parse_sql",
+    "__version__",
+]

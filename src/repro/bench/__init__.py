@@ -1,0 +1,53 @@
+"""Benchmark harness: workload runner, experiment drivers, reporting."""
+
+from repro.bench.experiments import (
+    PAPER_TABLE1,
+    AblationResult,
+    OverheadResult,
+    ScatterResult,
+    Table1Result,
+    TemplateRatioResult,
+    WindowSweepResult,
+    ablation_experiment,
+    overhead_experiment,
+    scatter_experiment,
+    table1_experiment,
+    template_ratio_experiment,
+    window_sweep_experiment,
+)
+from repro.bench.reporting import (
+    format_scatter_summary,
+    format_table,
+    to_csv,
+    write_csv,
+)
+from repro.bench.runner import (
+    QueryMeasurement,
+    WorkloadResult,
+    run_workload,
+    standard_configs,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "AblationResult",
+    "OverheadResult",
+    "QueryMeasurement",
+    "ScatterResult",
+    "Table1Result",
+    "TemplateRatioResult",
+    "WindowSweepResult",
+    "WorkloadResult",
+    "ablation_experiment",
+    "format_scatter_summary",
+    "format_table",
+    "overhead_experiment",
+    "run_workload",
+    "scatter_experiment",
+    "standard_configs",
+    "table1_experiment",
+    "template_ratio_experiment",
+    "to_csv",
+    "window_sweep_experiment",
+    "write_csv",
+]

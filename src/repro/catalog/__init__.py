@@ -1,0 +1,19 @@
+"""Catalog: table registry, indexes, and optimizer statistics."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import (
+    ColumnStats,
+    StatisticsLevel,
+    TableStats,
+    collect_column_stats,
+    collect_table_stats,
+)
+
+__all__ = [
+    "Catalog",
+    "ColumnStats",
+    "StatisticsLevel",
+    "TableStats",
+    "collect_column_stats",
+    "collect_table_stats",
+]

@@ -1,0 +1,92 @@
+"""The catalog: tables, indexes, and statistics under one roof.
+
+All tables registered in one :class:`Catalog` share a single
+:class:`~repro.storage.counters.WorkMeter`, so a query's total work is read
+from one place regardless of how many tables it touched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.catalog.statistics import (
+    StatisticsLevel,
+    TableStats,
+    collect_table_stats,
+)
+from repro.errors import CatalogError
+from repro.storage.counters import WorkMeter
+from repro.storage.index import SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable
+
+
+class Catalog:
+    """Registry of tables, their indexes, and their statistics."""
+
+    def __init__(self, meter: WorkMeter | None = None) -> None:
+        self.meter = meter if meter is not None else WorkMeter()
+        self._tables: dict[str, HeapTable] = {}
+        self._indexes: dict[str, dict[str, SortedIndex]] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    # -- definition ------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[Column]) -> HeapTable:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = HeapTable(TableSchema(name, columns), meter=self.meter)
+        self._tables[name] = table
+        self._indexes[name] = {}
+        return table
+
+    def create_index(self, table_name: str, column: str) -> SortedIndex:
+        """Create (or return the existing) single-column index."""
+        table = self.table(table_name)
+        per_table = self._indexes[table_name]
+        if column in per_table:
+            return per_table[column]
+        index = SortedIndex(f"ix_{table_name}_{column}", table, column)
+        per_table[column] = index
+        return index
+
+    # -- lookup ----------------------------------------------------------
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def indexes_of(self, table_name: str) -> dict[str, SortedIndex]:
+        self.table(table_name)
+        return dict(self._indexes[table_name])
+
+    def index_on(self, table_name: str, column: str) -> SortedIndex | None:
+        self.table(table_name)
+        return self._indexes[table_name].get(column)
+
+    # -- data + statistics -------------------------------------------------
+    def insert_many(self, table_name: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-insert rows and refresh the table's indexes."""
+        table = self.table(table_name)
+        count = table.insert_many(rows)
+        for index in self._indexes[table_name].values():
+            index.refresh()
+        return count
+
+    def analyze(
+        self,
+        table_name: str | None = None,
+        level: StatisticsLevel = StatisticsLevel.BASIC,
+    ) -> None:
+        """Collect statistics for one table (or all tables) at *level*."""
+        names = [table_name] if table_name is not None else list(self._tables)
+        for name in names:
+            self._stats[name] = collect_table_stats(self.table(name), level)
+
+    def stats(self, table_name: str) -> TableStats | None:
+        """Statistics for *table_name*, or ``None`` if never analyzed."""
+        self.table(table_name)
+        return self._stats.get(table_name)

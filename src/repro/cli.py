@@ -1,0 +1,210 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands
+-----------
+``generate``    build the synthetic DMV data set and print its Table 1
+``query``       run one SQL statement against a DMV database, comparing
+                static and adaptive execution
+``shell``       interactive SQL shell over a DMV database
+``experiment``  run one of the paper's experiments and print its report
+
+Examples::
+
+    python -m repro generate --scale 0.05
+    python -m repro query --scale 0.05 "SELECT COUNT(*) FROM Car c WHERE c.make = 'Mazda'"
+    python -m repro experiment fig7 --scale 0.05 --queries 10
+    python -m repro shell --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    overhead_experiment,
+    scatter_experiment,
+    table1_experiment,
+    template_ratio_experiment,
+    window_sweep_experiment,
+)
+from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.db import Database
+from repro.dmv import four_table_workload, load_dmv, six_table_workload
+from repro.errors import ReproError
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="DMV scale factor; 1.0 = the paper's 100K owners (default 0.05)",
+    )
+    parser.add_argument("--seed", type=int, default=20070426)
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="include the Location/Time extension tables (Sec 5.5)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adaptively Reordering Joins during "
+        "Query Execution' (ICDE 2007)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="build the DMV data set")
+    _add_scale(generate)
+
+    query = commands.add_parser("query", help="run one SQL statement")
+    _add_scale(query)
+    query.add_argument("sql", help="the SQL statement to run")
+    query.add_argument(
+        "--mode",
+        choices=[mode.value for mode in ReorderMode],
+        default=ReorderMode.BOTH.value,
+        help="reordering mode for the adaptive run (default: both)",
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the static plan"
+    )
+
+    shell = commands.add_parser("shell", help="interactive SQL shell")
+    _add_scale(shell)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    _add_scale(experiment)
+    experiment.add_argument(
+        "name",
+        choices=["table1", "fig7", "fig8", "fig9", "fig10", "fig11", "overhead"],
+    )
+    experiment.add_argument(
+        "--queries", type=int, default=10, help="queries per template"
+    )
+    return parser
+
+
+def _load(args) -> Database:
+    started = time.perf_counter()
+    db, summary = load_dmv(scale=args.scale, seed=args.seed, extended=args.extended)
+    elapsed = time.perf_counter() - started
+    print(f"loaded DMV at scale {args.scale} in {elapsed:.1f}s:", file=sys.stderr)
+    for name, count in summary.as_rows():
+        print(f"  {name:14s} {count:10,d} rows", file=sys.stderr)
+    return db
+
+
+def _run_query(db: Database, sql: str, mode: ReorderMode, explain: bool) -> None:
+    if explain:
+        print(db.explain(sql))
+        print()
+    static = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE))
+    for row in static.rows[:25]:
+        print(row)
+    if len(static.rows) > 25:
+        print(f"... ({len(static.rows)} rows total)")
+    print(f"\nstatic:   {static.stats.total_work:12,.0f} work units "
+          f"({static.stats.wall_seconds * 1000:.1f} ms)")
+    if mode is not ReorderMode.NONE:
+        adaptive = db.execute(sql, AdaptiveConfig(mode=mode))
+        matches = sorted(adaptive.rows) == sorted(static.rows)
+        print(f"adaptive: {adaptive.stats.total_work:12,.0f} work units "
+              f"({adaptive.stats.wall_seconds * 1000:.1f} ms), "
+              f"{adaptive.stats.total_switches} switch(es), "
+              f"results {'match' if matches else 'MISMATCH!'}")
+        speedup = static.stats.total_work / max(adaptive.stats.total_work, 1e-9)
+        print(f"speedup:  {speedup:12.2f}x")
+        if adaptive.stats.order_changed:
+            print("adaptation events:")
+            for event in adaptive.stats.events:
+                print(f"  {event.describe()}")
+
+
+def cmd_generate(args) -> int:
+    _, summary = load_dmv(scale=args.scale, seed=args.seed, extended=args.extended)
+    print(table1_experiment(summary, args.scale).report())
+    return 0
+
+
+def cmd_query(args) -> int:
+    db = _load(args)
+    _run_query(db, args.sql, ReorderMode(args.mode), args.explain)
+    return 0
+
+
+def cmd_shell(args) -> int:
+    db = _load(args)
+    print("repro SQL shell — end statements with Enter; "
+          "commands: .explain SQL | .quit", file=sys.stderr)
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (".quit", ".exit", "\\q"):
+            return 0
+        try:
+            if line.startswith(".explain"):
+                print(db.explain(line[len(".explain"):].strip()))
+            else:
+                _run_query(db, line, ReorderMode.BOTH, explain=False)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+def cmd_experiment(args) -> int:
+    if args.name == "table1":
+        _, summary = load_dmv(
+            scale=args.scale, seed=args.seed, extended=args.extended
+        )
+        print(table1_experiment(summary, args.scale).report())
+        return 0
+    if args.name == "fig11":
+        db, _ = load_dmv(scale=args.scale, seed=args.seed, extended=True)
+        workload = six_table_workload(count=max(args.queries * 2, 10))
+        print(scatter_experiment(db, workload).report("Fig 11 — six-table joins"))
+        return 0
+    db = _load(args)
+    workload = four_table_workload(queries_per_template=args.queries)
+    if args.name == "fig7":
+        print(scatter_experiment(db, workload).report("Fig 7 — scatter"))
+    elif args.name == "fig8":
+        print(
+            template_ratio_experiment(db, workload, ReorderMode.INNER_ONLY)
+            .report("Fig 8 — inner-only reordering")
+        )
+    elif args.name == "fig9":
+        print(
+            template_ratio_experiment(db, workload, ReorderMode.DRIVING_ONLY)
+            .report("Fig 9 — driving-only reordering")
+        )
+    elif args.name == "fig10":
+        print(window_sweep_experiment(db, workload).report())
+    elif args.name == "overhead":
+        print(overhead_experiment(db, workload).report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "query": cmd_query,
+        "shell": cmd_shell,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The adaptation controller: when to check, what to change.
+
+Ties the pieces together at the two safe points the executor exposes:
+
+* ``on_suffix_depleted(i)`` — the Fig 2 trigger: when the leg at position
+  ``i`` has consumed a batch of ``c`` incoming rows and its suffix is
+  depleted, rebuild run-time models and possibly permute the suffix;
+* ``on_pipeline_depleted()`` — the Fig 3 trigger: when the driving leg has
+  produced ``c`` rows and the whole pipeline is depleted, compare the
+  remaining cost of the current plan against plans led by every other leg
+  and possibly switch the driving leg.
+
+Checks charge ``REORDER_CHECK`` work units and monitors charge
+``MONITOR_UPDATE`` units, so the Sec 5.4 overhead experiment can read the
+adaptation overhead straight off the meter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import AdaptiveConfig
+from repro.core.driving import (
+    apply_dynamic_spec,
+    decide_driving_switch,
+    dynamic_driving_spec,
+)
+from repro.core.events import AdaptationEvent, EventKind
+from repro.optimizer.cost import cost_of_order
+from repro.core.ranks import RuntimeModelBuilder
+from repro.core.reorder import decide_inner_order
+from repro.errors import ExecutionError
+from repro.storage.cursor import IndexScanCursor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.pipeline import PipelineExecutor
+
+
+class AdaptationController:
+    """Implements the executor's :class:`AdaptationHooks` protocol."""
+
+    def __init__(self, config: AdaptiveConfig) -> None:
+        self.config = config
+        self.pipeline: "PipelineExecutor | None" = None
+        self._builder: RuntimeModelBuilder | None = None
+        # Experiment counters.
+        self.inner_checks = 0
+        self.driving_checks = 0
+
+    def attach(self, pipeline: "PipelineExecutor") -> None:
+        self.pipeline = pipeline
+        self._builder = RuntimeModelBuilder(pipeline)
+
+    def _require_pipeline(self) -> "PipelineExecutor":
+        if self.pipeline is None or self._builder is None:
+            raise ExecutionError("controller is not attached to a pipeline")
+        return self.pipeline
+
+    # ------------------------------------------------------------------
+    # Fig 2: REORDER_INNER_TABLE(i)
+    # ------------------------------------------------------------------
+    def on_suffix_depleted(self, position: int) -> None:
+        config = self.config
+        if not config.mode.reorders_inner:
+            return
+        pipeline = self._require_pipeline()
+        order = pipeline.order
+        if position >= len(order) - 1:
+            return  # a single-leg suffix cannot be permuted
+        leg = pipeline.legs[order[position]]
+        if leg.incoming_since_check < config.check_frequency:
+            return
+        leg.incoming_since_check = 0
+        pipeline.catalog.meter.charge_reorder_check()
+        self.inner_checks += 1
+        assert self._builder is not None
+        self._builder.refresh_join_selectivities()
+        provider = self._builder.build_provider()
+        new_suffix = decide_inner_order(
+            pipeline, provider, position, config.inner_policy
+        )
+        if new_suffix is not None:
+            old_order = tuple(pipeline.order)
+            new_order = tuple(pipeline.order[:position]) + tuple(new_suffix)
+            pipeline.events.append(
+                AdaptationEvent(
+                    kind=EventKind.INNER_REORDER,
+                    driving_rows_produced=pipeline.driving_rows_total,
+                    old_order=old_order,
+                    new_order=new_order,
+                    estimated_current_cost=cost_of_order(old_order, provider),
+                    estimated_new_cost=cost_of_order(new_order, provider),
+                    position=position,
+                )
+            )
+            pipeline.apply_inner_order(position, new_suffix)
+
+    # ------------------------------------------------------------------
+    # Fig 3: REORDER_DRIVING_TABLE()
+    # ------------------------------------------------------------------
+    def on_pipeline_depleted(self) -> bool:
+        config = self.config
+        if not config.mode.reorders_driving:
+            return False
+        pipeline = self._require_pipeline()
+        if len(pipeline.order) < 2:
+            return False
+        if pipeline.driving_rows_since_check < config.check_frequency:
+            return False
+        cursor = pipeline.driving_cursor
+        if (
+            config.switch_at_key_boundary
+            and isinstance(cursor, IndexScanCursor)
+            and cursor.scans_multiple_keys()
+            and not cursor.at_key_boundary()
+        ):
+            # Postpone the check until the current key group drains, so a
+            # plain ``key > v`` positional predicate suffices (Sec 4.2).
+            # Single-value scans ignore the key order entirely and may
+            # switch anywhere (their positional predicate is RID-only).
+            return False
+        pipeline.driving_rows_since_check = 0
+        pipeline.catalog.meter.charge_reorder_check()
+        self.driving_checks += 1
+        if config.dynamic_access_path:
+            self._refresh_dynamic_specs()
+        assert self._builder is not None
+        self._builder.refresh_join_selectivities()
+        provider = self._builder.build_provider()
+        new_order = decide_driving_switch(pipeline, provider, config)
+        if new_order is None:
+            return False
+        old_order = tuple(pipeline.order)
+        pipeline.events.append(
+            AdaptationEvent(
+                kind=EventKind.DRIVING_SWITCH,
+                driving_rows_produced=pipeline.driving_rows_total,
+                old_order=old_order,
+                new_order=tuple(new_order),
+                estimated_current_cost=cost_of_order(old_order, provider),
+                estimated_new_cost=cost_of_order(tuple(new_order), provider),
+            )
+        )
+        pipeline.apply_driving_switch(new_order)
+        return True
+
+    def _refresh_dynamic_specs(self) -> None:
+        """Sec 6 extension: re-pick access paths from monitored locals.
+
+        Only legs that have never driven are eligible — a frozen scan's
+        order must stay stable for its positional predicate to remain
+        correct.
+        """
+        pipeline = self._require_pipeline()
+        for alias in pipeline.order[1:]:
+            if pipeline.registry.has_driven(alias):
+                continue
+            leg = pipeline.legs[alias]
+            spec = dynamic_driving_spec(leg)
+            if spec is not None:
+                apply_dynamic_spec(leg, spec)

@@ -1,0 +1,131 @@
+"""Driving-leg switching (Sec 4.2, Fig 3) and dynamic access-path choice.
+
+:func:`decide_driving_switch` implements Fig 3 steps 2-4: estimate the
+remaining work of the current plan and the cost of plans led by every other
+leg (using remaining-fraction-adjusted monitored parameters), and propose
+the cheapest one if it beats the current plan by the configured margin. The
+mechanics of the switch — freezing the scan position, adding the positional
+predicate, resuming/resetting cursors (steps 5-7) — live in
+:meth:`repro.executor.pipeline.PipelineExecutor.apply_driving_switch`.
+
+:func:`dynamic_driving_spec` is the paper's future-work extension (Sec 6,
+motivated by the Template 4 regression in Sec 5.3): before a leg drives for
+the first time, re-choose its index access path using *monitored* local
+selectivities instead of the optimizer's uniformity-based guess.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.core.config import AdaptiveConfig, InnerReorderPolicy
+from repro.optimizer.cost import (
+    best_order_exhaustive,
+    cost_of_order,
+    greedy_rank_suffix,
+)
+from repro.optimizer.params import ModelProvider
+from repro.optimizer.plans import DrivingKind, DrivingSpec
+from repro.storage.cursor import normalize_ranges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.access import RuntimeLeg
+    from repro.executor.pipeline import PipelineExecutor
+
+
+def decide_driving_switch(
+    pipeline: "PipelineExecutor",
+    provider: ModelProvider,
+    config: AdaptiveConfig,
+) -> list[str] | None:
+    """A cheaper full order led by a different leg, or None."""
+    order = pipeline.order
+    graph = pipeline.join_graph
+    current_cost = cost_of_order(order, provider)
+    best_order: list[str] | None = None
+    best_cost = current_cost
+    for candidate in order:
+        if candidate == order[0]:
+            continue
+        others = [alias for alias in order if alias != candidate]
+        if config.inner_policy is InnerReorderPolicy.EXHAUSTIVE:
+            candidate_order, cost = best_order_exhaustive(
+                order, graph, provider, fixed_prefix=(candidate,)
+            )
+        else:
+            candidate_order = greedy_rank_suffix(
+                (candidate,), others, graph, provider
+            )
+            cost = cost_of_order(candidate_order, provider)
+        abandoned = pipeline.abandon_counts.get(candidate, 0)
+        if abandoned:
+            # Anti-thrash: switching *back* to a leg we already abandoned
+            # must clear an escalating bar, otherwise near-tie estimates
+            # cause ping-ponging (the fluctuation Sec 5.4 observes for
+            # small history windows).
+            cost *= (1.0 + config.switch_benefit_threshold) ** abandoned
+        if cost < best_cost:
+            best_cost = cost
+            best_order = list(candidate_order)
+    if best_order is None:
+        return None
+    if best_cost >= current_cost * (1.0 - config.switch_benefit_threshold):
+        return None
+    return best_order
+
+
+def dynamic_driving_spec(leg: "RuntimeLeg") -> DrivingSpec | None:
+    """Re-choose *leg*'s driving access path from monitored selectivities.
+
+    Returns a new spec when some sargable indexed predicate measures more
+    selective than the one the optimizer chose; None to keep the plan spec.
+    """
+    current = leg.plan_leg.driving
+    best_column: str | None = None
+    best_ranges = None
+    best_sel = float("inf")
+    for slot, (predicate, _) in enumerate(leg.local_tests):
+        measured = leg.measured_local_selectivity(slot)
+        if measured is None:
+            continue
+        for column in predicate.columns():
+            if column not in leg.indexes:
+                continue
+            ranges = predicate.key_ranges(column)
+            if ranges is None:
+                continue
+            if measured < best_sel:
+                best_sel = measured
+                best_column = column
+                best_ranges = ranges
+    if best_column is None:
+        return None
+    if (
+        current.kind is DrivingKind.INDEX_SCAN
+        and current.index_column == best_column
+    ):
+        return None
+    return DrivingSpec(
+        DrivingKind.INDEX_SCAN,
+        index_column=best_column,
+        ranges=tuple(normalize_ranges(list(best_ranges or []))),
+        est_index_selectivity=best_sel,
+    )
+
+
+def apply_dynamic_spec(leg: "RuntimeLeg", spec: DrivingSpec) -> None:
+    """Install a dynamically chosen driving spec on *leg*'s plan leg."""
+    estimates = dataclasses.replace(
+        leg.plan_leg.estimates,
+        sel_local_index=spec.est_index_selectivity,
+        sel_local_residual=min(
+            leg.plan_leg.estimates.sel_local
+            / max(spec.est_index_selectivity, 1e-12),
+            1.0,
+        ),
+    )
+    leg.plan_leg = dataclasses.replace(
+        leg.plan_leg, driving=spec, estimates=estimates
+    )
+    leg._slpi_metadata = None  # the cached metadata S_LPI is for the old spec

@@ -1,0 +1,159 @@
+"""Run-time monitors (Sec 4.3).
+
+Each leg carries a :class:`LegMonitor` that observes the row counts flowing
+through it over a sliding **history window** of the last ``w`` incoming rows
+(Sec 4.3.5). From those counters the controller derives:
+
+* combined residual local/join selectivity ``S_LPR = O_n / I_2`` (Eq 6) —
+  measured on the *conjunction*, so cross-column correlation is captured
+  exactly (the Example 2 property);
+* index join-predicate selectivity ``S_JP = O_1 / (I_1 * C(T))`` (Eq 7);
+* join cardinality ``JC(T) = O(T) / I(T)`` (Eq 11);
+* measured probe cost ``PC(T)`` = work units per incoming row.
+
+The driving leg has no "incoming rows"; :class:`DrivingMonitor` instead
+tracks scan progress (entries read, rows surviving locals) so the controller
+can estimate the *remaining* work of the current plan (Fig 3 step 2) and the
+residual local selectivity of the leg.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class ProbeSample:
+    """Counters for one incoming outer row at an inner leg."""
+
+    index_matches: int
+    output_rows: int
+    work_units: float
+
+
+class SlidingWindow:
+    """Aggregates :class:`ProbeSample` totals over the last ``w`` samples."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._samples: deque[ProbeSample] = deque()
+        self._sum_matches = 0
+        self._sum_output = 0
+        self._sum_work = 0.0
+        self.lifetime_samples = 0
+
+    def add(self, sample: ProbeSample) -> None:
+        self._samples.append(sample)
+        self._sum_matches += sample.index_matches
+        self._sum_output += sample.output_rows
+        self._sum_work += sample.work_units
+        self.lifetime_samples += 1
+        if len(self._samples) > self.size:
+            expired = self._samples.popleft()
+            self._sum_matches -= expired.index_matches
+            self._sum_output -= expired.output_rows
+            self._sum_work -= expired.work_units
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def sum_matches(self) -> int:
+        return self._sum_matches
+
+    @property
+    def sum_output(self) -> int:
+        return self._sum_output
+
+    @property
+    def sum_work(self) -> float:
+        return self._sum_work
+
+
+class LegMonitor:
+    """Windowed monitor for one leg acting as an inner leg."""
+
+    def __init__(self, window: int) -> None:
+        self.window = SlidingWindow(window)
+
+    @property
+    def incoming_rows(self) -> int:
+        return len(self.window)
+
+    @property
+    def lifetime_incoming(self) -> int:
+        return self.window.lifetime_samples
+
+    def record_probe(
+        self, index_matches: int, output_rows: int, work_units: float
+    ) -> None:
+        self.window.add(ProbeSample(index_matches, output_rows, work_units))
+
+    def reset(self) -> None:
+        """Drop history (used when the leg's probe configuration changes)."""
+        self.window = SlidingWindow(self.window.size)
+
+    # -- derived estimates (None when no data yet) -----------------------
+    def join_cardinality(self) -> float | None:
+        """Eq (11): JC = O / I over the window."""
+        if len(self.window) == 0:
+            return None
+        return self.window.sum_output / len(self.window)
+
+    def index_match_rate(self) -> float | None:
+        """Average index matches per incoming row (O_1 / I_1)."""
+        if len(self.window) == 0:
+            return None
+        return self.window.sum_matches / len(self.window)
+
+    def index_join_selectivity(self, base_cardinality: int) -> float | None:
+        """Eq (7): S_JP of the index-access join predicate."""
+        rate = self.index_match_rate()
+        if rate is None or base_cardinality <= 0:
+            return None
+        return rate / base_cardinality
+
+    def residual_selectivity(self) -> float | None:
+        """Eq (6)/(8): combined selectivity of all residual predicates."""
+        if self.window.sum_matches == 0:
+            return None
+        return self.window.sum_output / self.window.sum_matches
+
+    def probe_cost(self) -> float | None:
+        """Measured PC: work units per incoming row, over the window."""
+        if len(self.window) == 0:
+            return None
+        return self.window.sum_work / len(self.window)
+
+
+class DrivingMonitor:
+    """Scan-progress monitor for the leg currently driving the pipeline."""
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self._recent: deque[tuple[int, int]] = deque()  # (scanned, survived)
+        self.entries_scanned = 0       # rows out of the access method
+        self.rows_survived = 0         # rows surviving residual locals
+        self._recent_scanned = 0
+        self._recent_survived = 0
+
+    def record_scanned(self, survived: bool) -> None:
+        self.entries_scanned += 1
+        if survived:
+            self.rows_survived += 1
+        self._recent.append((1, 1 if survived else 0))
+        self._recent_scanned += 1
+        self._recent_survived += 1 if survived else 0
+        if len(self._recent) > self.window:
+            scanned, lived = self._recent.popleft()
+            self._recent_scanned -= scanned
+            self._recent_survived -= lived
+
+    def residual_selectivity(self) -> float | None:
+        """Windowed S_LPR of the driving leg's residual local predicates."""
+        if self._recent_scanned == 0:
+            return None
+        return self._recent_survived / self._recent_scanned

@@ -1,0 +1,236 @@
+"""The public facade: an embedded database with adaptive join reordering.
+
+Typical use::
+
+    from repro import AdaptiveConfig, Database, ReorderMode
+
+    db = Database()
+    db.create_table("Owner", [("id", "int"), ("name", "string")])
+    db.create_index("Owner", "id")
+    db.insert("Owner", [(1, "ada"), (2, "bob")])
+    db.analyze()
+
+    result = db.execute("SELECT o.name FROM Owner o WHERE o.id = 1")
+    print(result.rows)
+
+    adaptive = db.execute(sql, config=AdaptiveConfig(mode=ReorderMode.BOTH))
+    static = db.execute(sql, config=AdaptiveConfig(mode=ReorderMode.NONE))
+    print(static.stats.total_work / adaptive.stats.total_work)  # speedup
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import StatisticsLevel
+from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.core.controller import AdaptationController
+from repro.errors import SchemaError
+from repro.executor.pipeline import PipelineExecutor
+from repro.executor.postprocess import PostProcessor
+from repro.optimizer.optimizer import StaticOptimizer
+from repro.optimizer.plans import PipelinePlan
+from repro.query.query import QuerySpec
+from repro.query.sql.parser import parse_sql
+from repro.storage.counters import WorkMeter
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType
+
+_TYPE_NAMES = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "string": ColumnType.STRING,
+    "str": ColumnType.STRING,
+    "text": ColumnType.STRING,
+}
+
+ColumnSpec = Column | tuple[str, str]
+
+
+def _as_column(spec: ColumnSpec) -> Column:
+    if isinstance(spec, Column):
+        return spec
+    name, type_name = spec
+    try:
+        column_type = _TYPE_NAMES[type_name.lower()]
+    except KeyError:
+        raise SchemaError(
+            f"unknown column type {type_name!r}; "
+            f"expected one of {sorted(_TYPE_NAMES)}"
+        ) from None
+    return Column(name, column_type)
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Measurements of one query execution."""
+
+    work: WorkMeter          # work-unit deltas attributable to this query
+    wall_seconds: float
+    inner_reorders: int
+    driving_switches: int
+    inner_checks: int
+    driving_checks: int
+    order_history: tuple[tuple[str, ...], ...]
+    # Applied adaptation decisions with the cost-model justification.
+    events: tuple = ()
+
+    @property
+    def total_work(self) -> float:
+        return self.work.total_units
+
+    @property
+    def execution_work(self) -> float:
+        return self.work.execution_units
+
+    @property
+    def adaptation_work(self) -> float:
+        return self.work.adaptation_units
+
+    @property
+    def total_switches(self) -> int:
+        return self.inner_reorders + self.driving_switches
+
+    @property
+    def order_changed(self) -> bool:
+        return self.total_switches > 0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result rows plus execution statistics and the (initial) plan."""
+
+    rows: list[tuple[Any, ...]]
+    stats: ExecutionStats
+    plan: PipelinePlan
+    final_order: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """An embedded in-memory database exposing the reproduction's API."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    # -- schema & data ----------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[ColumnSpec]) -> None:
+        self.catalog.create_table(name, [_as_column(spec) for spec in columns])
+
+    def create_index(self, table: str, column: str) -> None:
+        self.catalog.create_index(table, column)
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.catalog.insert_many(table, rows)
+
+    def analyze(
+        self,
+        table: str | None = None,
+        level: StatisticsLevel = StatisticsLevel.BASIC,
+    ) -> None:
+        """Collect optimizer statistics (RUNSTATS equivalent).
+
+        Levels (see :class:`~repro.catalog.statistics.StatisticsLevel`):
+        ``CARDINALITY`` — table sizes only (the paper's main setting);
+        ``BASIC`` — plus per-column ndv/min/max; ``DETAILED`` — plus
+        frequent values (the Sec 5.3 "sophisticated statistics").
+        """
+        self.catalog.analyze(table, level)
+
+    # -- querying -----------------------------------------------------------
+    def parse(self, sql: str) -> QuerySpec:
+        return parse_sql(sql)
+
+    def plan(self, query: str | QuerySpec) -> PipelinePlan:
+        spec = self.parse(query) if isinstance(query, str) else query
+        return StaticOptimizer(self.catalog).optimize(spec)
+
+    def explain(self, query: str | QuerySpec) -> str:
+        return self.plan(query).explain()
+
+    def explain_analyze(
+        self,
+        query: str | QuerySpec | PipelinePlan,
+        config: AdaptiveConfig | None = None,
+    ) -> str:
+        """Run *query* and report what the adaptive run time actually did.
+
+        The report combines the optimizer's plan, the execution totals, and
+        the adaptation event log (each applied reorder/switch with the
+        cost-model estimates that justified it) — the run-time analogue of
+        EXPLAIN ANALYZE.
+        """
+        result = self.execute(query, config)
+        stats = result.stats
+        lines = [result.plan.explain(), ""]
+        lines.append(
+            f"executed: {len(result.rows)} row(s), "
+            f"{stats.total_work:,.0f} work units "
+            f"({stats.execution_work:,.0f} execution + "
+            f"{stats.adaptation_work:,.0f} adaptation), "
+            f"{stats.wall_seconds * 1000:.1f} ms"
+        )
+        lines.append(
+            f"checks: {stats.inner_checks} inner, {stats.driving_checks} driving; "
+            f"switches: {stats.inner_reorders} inner, "
+            f"{stats.driving_switches} driving"
+        )
+        if stats.events:
+            lines.append("adaptation events:")
+            lines.extend(f"  {event.describe()}" for event in stats.events)
+        else:
+            lines.append("adaptation events: none (the initial order held)")
+        lines.append(f"final order: {', '.join(result.final_order)}")
+        return "\n".join(lines)
+
+    def execute(
+        self,
+        query: str | QuerySpec | PipelinePlan,
+        config: AdaptiveConfig | None = None,
+    ) -> QueryResult:
+        """Run *query* under the given adaptive configuration.
+
+        The default configuration enables both inner-leg reordering and
+        driving-leg switching (the paper's full technique); pass
+        ``AdaptiveConfig(mode=ReorderMode.NONE)`` for the static baseline.
+        """
+        if isinstance(query, PipelinePlan):
+            plan = query
+        else:
+            plan = self.plan(query)
+        if config is None:
+            config = AdaptiveConfig(mode=ReorderMode.BOTH)
+        controller = (
+            AdaptationController(config) if config.mode.monitors else None
+        )
+        executor = PipelineExecutor(plan, self.catalog, config, controller)
+        if controller is not None:
+            controller.attach(executor)
+        before = self.catalog.meter.snapshot()
+        rows = executor.run_to_completion()
+        if plan.query.has_post_processing:
+            # Blocking stage above the pipeline (aggregation / ORDER BY /
+            # LIMIT, Sec 3.1); insensitive to run-time reordering.
+            rows = PostProcessor(plan.query, plan.projection).process(rows)
+        stats = ExecutionStats(
+            work=self.catalog.meter - before,
+            wall_seconds=executor.wall_seconds,
+            inner_reorders=executor.inner_reorders,
+            driving_switches=executor.driving_switches,
+            inner_checks=controller.inner_checks if controller else 0,
+            driving_checks=controller.driving_checks if controller else 0,
+            order_history=tuple(executor.order_history),
+            events=tuple(executor.events),
+        )
+        return QueryResult(
+            rows=rows,
+            stats=stats,
+            plan=plan,
+            final_order=tuple(executor.order),
+        )

@@ -1,0 +1,21 @@
+"""The synthetic DMV data set and experimental query workloads (Sec 5)."""
+
+from repro.dmv.generator import DmvGenerator, DmvSummary, load_dmv
+from repro.dmv.schema import create_dmv_schema
+from repro.dmv.templates import (
+    WorkloadQuery,
+    four_table_workload,
+    six_table_workload,
+    template_count,
+)
+
+__all__ = [
+    "DmvGenerator",
+    "DmvSummary",
+    "WorkloadQuery",
+    "create_dmv_schema",
+    "four_table_workload",
+    "load_dmv",
+    "six_table_workload",
+    "template_count",
+]

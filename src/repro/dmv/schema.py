@@ -1,0 +1,128 @@
+"""DMV data set schema (Sec 5, Table 1).
+
+The paper evaluates on IBM's proprietary DMV data set: Owner, Car,
+Demographics, and Accidents tables "with data skews and correlations among
+columns", plus Location and Time extension tables for the six-table
+experiment (Sec 5.5). This module defines our synthetic equivalent's schema
+and the indexes ("we assume that proper indexes are built on join columns",
+Sec 3.1 — plus the local-predicate columns the paper's examples scan).
+
+Column names follow the paper's example queries: ``country1`` is the full
+country name (Example 1: ``o.country1 = 'Germany'``), ``country3`` the
+3-letter code (Example 2: ``o.country3 = 'EG'``).
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+
+# (table, [(column, type), ...])
+BASE_TABLES: list[tuple[str, list[tuple[str, str]]]] = [
+    (
+        "Owner",
+        [
+            ("id", "int"),
+            ("name", "string"),
+            ("country1", "string"),  # full country name
+            ("country3", "string"),  # 3-letter code, 1:1 with country1
+            ("city", "string"),      # correlated with country
+        ],
+    ),
+    (
+        "Car",
+        [
+            ("id", "int"),
+            ("ownerid", "int"),
+            ("make", "string"),
+            ("model", "string"),     # model determines make (Example 2)
+            ("year", "int"),
+        ],
+    ),
+    (
+        "Demographics",
+        [
+            ("ownerid", "int"),
+            ("salary", "int"),       # correlated with owned car class
+            ("age", "int"),
+            ("children", "int"),
+        ],
+    ),
+    (
+        "Accidents",
+        [
+            ("id", "int"),
+            ("carid", "int"),
+            ("driver", "string"),
+            ("year", "int"),
+            ("damage", "int"),
+            ("locationid", "int"),   # used by the 6-table extension
+            ("timeid", "int"),       # used by the 6-table extension
+        ],
+    ),
+]
+
+EXTENDED_TABLES: list[tuple[str, list[tuple[str, str]]]] = [
+    (
+        "Location",
+        [
+            ("id", "int"),
+            ("state", "string"),
+            ("city", "string"),
+            ("urban", "int"),  # 0/1 flag; accidents skew toward urban
+        ],
+    ),
+    (
+        "Time",
+        [
+            ("id", "int"),
+            ("year", "int"),
+            ("month", "int"),
+            ("day", "int"),
+            ("weekday", "int"),
+        ],
+    ),
+]
+
+# Note: Owner.country1 is deliberately NOT indexed. Example 1's narrative
+# has the optimizer drive on Car's make index (not Owner), and Sec 5.3's
+# Example 3 has it choose the country3 index over the city index; both
+# require country1 lookups to go through residual predicates.
+BASE_INDEXES: list[tuple[str, str]] = [
+    ("Owner", "id"),
+    ("Owner", "country3"),
+    ("Owner", "city"),
+    ("Car", "id"),
+    ("Car", "ownerid"),
+    ("Car", "make"),
+    ("Car", "model"),
+    ("Car", "year"),
+    ("Demographics", "ownerid"),
+    ("Demographics", "salary"),
+    ("Demographics", "age"),
+    ("Accidents", "id"),
+    ("Accidents", "carid"),
+    ("Accidents", "year"),
+    ("Accidents", "damage"),
+]
+
+EXTENDED_INDEXES: list[tuple[str, str]] = [
+    ("Accidents", "locationid"),
+    ("Accidents", "timeid"),
+    ("Location", "id"),
+    ("Location", "state"),
+    ("Time", "id"),
+    ("Time", "year"),
+    ("Time", "month"),
+]
+
+
+def create_dmv_schema(db: Database, extended: bool = False) -> None:
+    """Create the DMV tables and indexes on *db* (no data)."""
+    tables = list(BASE_TABLES) + (list(EXTENDED_TABLES) if extended else [])
+    for name, columns in tables:
+        db.create_table(name, columns)
+    for table, column in BASE_INDEXES:
+        db.create_index(table, column)
+    if extended:
+        for table, column in EXTENDED_INDEXES:
+            db.create_index(table, column)

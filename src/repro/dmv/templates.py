@@ -1,0 +1,239 @@
+"""The DMV query workload: 5 four-table templates + the 6-table extension.
+
+Sec 5 evaluates "five query templates whose query execution plans ... were
+mostly pipelined index nested-loop joins", all 4-table joins "with different
+local predicate combinations", about 300 queries total; Sec 5.5 adds a
+6-table workload of 100 queries over the Location/Time extension.
+
+Our templates instantiate the paper's own example queries:
+
+* **T1** — Example 1: ``make IN (standard, luxury)`` with country and salary
+  predicates; the mid-scan flip workload.
+* **T2** — Example 3: correlated ``make``+``model`` and ``country3``+``city``
+  pairs with an age predicate; the independence-assumption killer.
+* **T3** — range-heavy: car year range, country, salary band.
+* **T4** — accident-centric: damage and accident-year predicates; the
+  optimizer must guess which index to drive with (the Sec 5.3 access-path
+  failure mode).
+* **T5** — join-cardinality trap: only Car and Accidents carry predicates,
+  so the optimizer's default range selectivity makes Accidents look safe to
+  probe early (estimated JC < 1); its true JC is well above 1, multiplying
+  the flow into the unfiltered Owner/Demographics legs — exactly the
+  inversion inner-leg reordering repairs at the first depleted state.
+
+Every query is produced deterministically from (template grid, seed):
+the grid mixes frequent and rare values so that some static plans are good
+(no reorder should fire — the overhead population of Sec 5.4) and some are
+badly wrong (the speedup population).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+# Parameter pools (values exist in the generated data; mixes of frequent
+# and rare values are intentional — see module docstring).
+MAKE_PAIRS = [
+    ("Chevrolet", "Mercedes"),
+    ("Ford", "BMW"),
+    ("Toyota", "Lexus"),
+    ("Mazda", "Audi"),
+    ("Honda", "Porsche"),
+]
+COUNTRIES1 = ["Germany", "United States", "France", "Japan", "Egypt", "Sweden"]
+SALARY_CUTS = [40_000, 55_000, 80_000]
+MAKE_MODEL = [
+    ("Chevrolet", "Caprice"),
+    ("Mazda", "323"),
+    ("Mercedes", "S500"),
+    ("Ford", "F150"),
+    ("Toyota", "Corolla"),
+    ("BMW", "740i"),
+]
+COUNTRY3_CITY = [
+    ("US", "Augusta"),
+    ("EG", "Cairo"),
+    ("DE", "Munich"),
+    ("FR", "Paris"),
+    ("JP", "Tokyo"),
+]
+AGE_CUTS = [35, 52, 70]
+YEAR_RANGES = [(1985, 1992), (1993, 1999), (2000, 2006)]
+SALARY_BANDS = [(20_000, 45_000), (45_000, 75_000), (75_000, 110_000)]
+DAMAGE_CUTS = [2_000, 10_000, 30_000]
+ACCIDENT_YEARS = [1998, 2001, 2004]
+ACCIDENT_MIN_YEARS = [1996, 2000, 2003]
+SINGLE_MAKES = ["Chevrolet", "Mazda", "Mercedes", "Porsche"]
+CITIES = ["Augusta", "Berlin", "Cairo", "Paris", "Tokyo", "Stockholm"]
+MODELS = ["Caprice", "323", "Civic", "S500", "911", "Golf"]
+
+_FOUR_TABLE_FROM = (
+    "FROM Owner o, Car c, Demographics d, Accidents a\n"
+    "WHERE c.ownerid = o.id AND o.id = d.ownerid AND c.id = a.carid"
+)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query of the experimental workload."""
+
+    qid: str
+    template: int
+    sql: str
+
+
+def _t1(params: tuple) -> str:
+    (make_a, make_b), country, salary = params
+    return (
+        "SELECT o.name, a.driver\n"
+        f"{_FOUR_TABLE_FROM}\n"
+        f"AND (c.make = '{make_a}' OR c.make = '{make_b}')\n"
+        f"AND o.country1 = '{country}' AND d.salary < {salary}"
+    )
+
+
+def _t2(params: tuple) -> str:
+    (make, model), (country3, city), age = params
+    return (
+        "SELECT o.name, a.driver\n"
+        f"{_FOUR_TABLE_FROM}\n"
+        f"AND c.make = '{make}' AND c.model = '{model}'\n"
+        f"AND o.country3 = '{country3}' AND o.city = '{city}' AND d.age < {age}"
+    )
+
+
+def _t3(params: tuple) -> str:
+    (year_lo, year_hi), country, (salary_lo, salary_hi) = params
+    return (
+        "SELECT o.name, c.year\n"
+        f"{_FOUR_TABLE_FROM}\n"
+        f"AND c.year BETWEEN {year_lo} AND {year_hi}\n"
+        f"AND o.country1 = '{country}'\n"
+        f"AND d.salary BETWEEN {salary_lo} AND {salary_hi}"
+    )
+
+
+def _t4(params: tuple) -> str:
+    damage, accident_year, make, age = params
+    return (
+        "SELECT o.name, a.damage\n"
+        f"{_FOUR_TABLE_FROM}\n"
+        f"AND a.damage > {damage} AND a.year = {accident_year}\n"
+        f"AND c.make = '{make}' AND d.age < {age}"
+    )
+
+
+def _t5(params: tuple) -> str:
+    model, damage, accident_year = params
+    return (
+        "SELECT o.name, d.salary\n"
+        f"{_FOUR_TABLE_FROM}\n"
+        f"AND c.model = '{model}' AND a.damage > {damage}\n"
+        f"AND a.year >= {accident_year}"
+    )
+
+
+def _grid(*pools: Sequence) -> list[tuple]:
+    combos: list[tuple] = [()]
+    for pool in pools:
+        combos = [prefix + (value,) for prefix in combos for value in pool]
+    return combos
+
+
+_TEMPLATES: list[tuple[Callable[[tuple], str], list[tuple]]] = [
+    (_t1, _grid(MAKE_PAIRS, COUNTRIES1, SALARY_CUTS)),               # 90
+    (_t2, _grid(MAKE_MODEL, COUNTRY3_CITY, AGE_CUTS)),               # 90
+    (_t3, _grid(YEAR_RANGES, COUNTRIES1, SALARY_BANDS)),             # 54
+    (_t4, _grid(DAMAGE_CUTS, ACCIDENT_YEARS, SINGLE_MAKES, AGE_CUTS)),  # 108
+    (_t5, _grid(MODELS, DAMAGE_CUTS, ACCIDENT_MIN_YEARS)),           # 54
+]
+
+
+def template_count() -> int:
+    return len(_TEMPLATES)
+
+
+def four_table_workload(
+    queries_per_template: int = 60, seed: int = 5
+) -> list[WorkloadQuery]:
+    """The Sec 5.1/5.2/5.3 workload: 5 templates x N queries.
+
+    The paper uses ~300 queries over 5 templates; the default grid sample
+    matches that at 60 per template. Sampling is deterministic in *seed*.
+    """
+    rng = random.Random(seed)
+    workload: list[WorkloadQuery] = []
+    for template_no, (build, grid) in enumerate(_TEMPLATES, start=1):
+        count = min(queries_per_template, len(grid))
+        chosen = rng.sample(grid, count) if count < len(grid) else list(grid)
+        for index, params in enumerate(chosen):
+            workload.append(
+                WorkloadQuery(
+                    qid=f"T{template_no}-{index:03d}",
+                    template=template_no,
+                    sql=build(params),
+                )
+            )
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Six-table extension (Sec 5.5)
+# ---------------------------------------------------------------------------
+
+_SIX_TABLE_FROM = (
+    "FROM Owner o, Car c, Demographics d, Accidents a, Location l, Time t\n"
+    "WHERE c.ownerid = o.id AND o.id = d.ownerid AND c.id = a.carid\n"
+    "AND a.locationid = l.id AND a.timeid = t.id"
+)
+
+STATES = ["Maine", "Texas", "California", "Nevada"]
+TIME_YEARS_POOL = [2002, 2004, 2006]
+MONTHS = [1, 6, 12]
+
+
+def _x1(params: tuple) -> str:
+    (make_a, make_b), country, state, year = params
+    return (
+        "SELECT o.name, l.city, t.month\n"
+        f"{_SIX_TABLE_FROM}\n"
+        f"AND (c.make = '{make_a}' OR c.make = '{make_b}')\n"
+        f"AND o.country1 = '{country}' AND l.state = '{state}' AND t.year = {year}"
+    )
+
+
+def _x2(params: tuple) -> str:
+    make, salary, month, damage = params
+    return (
+        "SELECT o.name, a.damage, t.year\n"
+        f"{_SIX_TABLE_FROM}\n"
+        f"AND c.make = '{make}' AND d.salary < {salary}\n"
+        f"AND l.urban = 1 AND t.month = {month} AND a.damage > {damage}"
+    )
+
+
+_SIX_TEMPLATES: list[tuple[Callable[[tuple], str], list[tuple]]] = [
+    (_x1, _grid(MAKE_PAIRS[:4], COUNTRIES1[:4], STATES, TIME_YEARS_POOL)),
+    (_x2, _grid(SINGLE_MAKES, SALARY_CUTS, MONTHS, DAMAGE_CUTS)),
+]
+
+
+def six_table_workload(count: int = 100, seed: int = 55) -> list[WorkloadQuery]:
+    """The Sec 5.5 workload: 100 six-table joins over the extended schema."""
+    rng = random.Random(seed)
+    per_template = count // len(_SIX_TEMPLATES)
+    workload: list[WorkloadQuery] = []
+    for template_no, (build, grid) in enumerate(_SIX_TEMPLATES, start=1):
+        take = min(per_template, len(grid))
+        chosen = rng.sample(grid, take) if take < len(grid) else list(grid)
+        for index, params in enumerate(chosen):
+            workload.append(
+                WorkloadQuery(
+                    qid=f"X{template_no}-{index:03d}",
+                    template=template_no,
+                    sql=build(params),
+                )
+            )
+    return workload

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro database engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch engine failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SchemaError(ReproError):
+    """A table or column definition is invalid or inconsistent."""
+
+
+class CatalogError(ReproError):
+    """A referenced table, column, or index does not exist."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (bad RID, type mismatch on insert, ...)."""
+
+
+class QueryError(ReproError):
+    """A query specification is malformed (unknown alias, bad predicate, ...)."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed.
+
+    Carries the offending position so callers can point at the error.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """The optimizer could not build a valid pipelined plan for the query."""
+
+
+class ExecutionError(ReproError):
+    """The executor entered an inconsistent state at run time."""

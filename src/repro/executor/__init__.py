@@ -1,0 +1,12 @@
+"""Pipelined NLJN execution with adaptation hooks."""
+
+from repro.executor.access import Binding, ProbeConfig, RuntimeLeg
+from repro.executor.pipeline import AdaptationHooks, PipelineExecutor
+
+__all__ = [
+    "AdaptationHooks",
+    "Binding",
+    "PipelineExecutor",
+    "ProbeConfig",
+    "RuntimeLeg",
+]

@@ -1,0 +1,338 @@
+"""Run-time access operators: one :class:`RuntimeLeg` per table in the plan.
+
+A leg can serve either role of the pipeline at any time:
+
+* **driving** — it owns a resumable scan cursor built from its
+  :class:`~repro.optimizer.plans.DrivingSpec` (or resumed from a frozen
+  scan after a switch-back, Sec 4.2);
+* **inner** — it is probed once per incoming outer row through a
+  :class:`ProbeConfig` compiled for the *current* leg order: the most
+  selective available join predicate with an index becomes the access
+  predicate, everything else (other join predicates, all local predicates,
+  and the duplicate-prevention positional predicate) is checked residually.
+
+Probe configs are compiled when the order changes, not per row — this is
+what keeps the paper's approach cheaper than row routing: adaptation state
+lives in the pipeline, and each row only pays the predicates themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.core.config import HashProbePolicy
+from repro.core.monitor import DrivingMonitor, LegMonitor
+from repro.errors import ExecutionError
+from repro.executor.hashprobe import HashProbeTable
+from repro.optimizer.plans import DrivingKind, PlanLeg
+from repro.query.joingraph import JoinPredicate
+from repro.query.predicates import PositionalPredicate
+from repro.storage.cursor import IndexScanCursor, TableScanCursor
+from repro.storage.index import SortedIndex
+from repro.storage.table import Row
+
+Binding = dict[str, Row]
+Cursor = TableScanCursor | IndexScanCursor
+
+
+@dataclass
+class ProbeConfig:
+    """Compiled probe strategy for a leg at its current pipeline position."""
+
+    access_index: SortedIndex | None
+    access_predicate: JoinPredicate | None
+    # Extracts the probe key from the outer binding (None for scan probes).
+    key_getter: Callable[[Binding], Any] | None
+    # Residual equality join predicates: (outer getter, our column slot).
+    residual_joins: tuple[tuple[Callable[[Binding], Any], int], ...]
+    # Which join predicates are available at this position (for JC model).
+    available_predicates: tuple[JoinPredicate, ...]
+    # Sec 6 extension: probe via an in-memory hash table on this column
+    # instead of an index (built lazily on first probe).
+    hash_column: str | None = None
+
+
+class RuntimeLeg:
+    """Run-time state of one table in the pipeline."""
+
+    def __init__(
+        self,
+        plan_leg: PlanLeg,
+        catalog: Catalog,
+        history_window: int,
+        monitoring_enabled: bool,
+        hash_policy: HashProbePolicy = HashProbePolicy.OFF,
+    ) -> None:
+        self.plan_leg = plan_leg
+        self.alias = plan_leg.alias
+        self.table = catalog.table(plan_leg.table_name)
+        self.schema = self.table.schema
+        self.meter = self.table.meter
+        self.indexes = catalog.indexes_of(plan_leg.table_name)
+        self.monitoring_enabled = monitoring_enabled
+        self.monitor = LegMonitor(history_window)
+        self.driving_monitor: DrivingMonitor | None = None
+        self.positional: PositionalPredicate | None = None
+        self._history_window = history_window
+        # (predicate, compiled test) pairs; predicate objects kept for
+        # per-predicate monitoring and dynamic access-path selection.
+        self.local_tests = [
+            (predicate, predicate.bind(self.schema))
+            for predicate in plan_leg.local_predicates
+        ]
+        # Per-local-predicate (evaluated, passed) counters for the
+        # dynamic-access-path extension.
+        self.local_counts = [[0, 0] for _ in self.local_tests]
+        self.probe_config: ProbeConfig | None = None
+        self.incoming_since_check = 0
+        self.hash_policy = hash_policy
+        # Hash builds are cached per access column: reorders and driving
+        # switches that keep the same access column reuse the build.
+        self._hash_tables: dict[str, HashProbeTable] = {}
+        # Cached index-metadata S_LPI of the driving spec (see
+        # RuntimeModelBuilder._index_selectivity); invalidated when the
+        # dynamic access-path extension replaces the spec.
+        self._slpi_metadata: float | None = None
+
+    @property
+    def base_cardinality(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+    # Inner-leg role
+    # ------------------------------------------------------------------
+    def compile_probe(
+        self,
+        preceding: Sequence[str],
+        graph: Any,
+        schemas: dict[str, Any],
+        sel_of: Callable[[JoinPredicate], float],
+    ) -> None:
+        """(Re)compile the probe strategy for the current leg order.
+
+        *preceding* are the aliases bound before this leg; *graph* is the
+        query's :class:`~repro.query.joingraph.JoinGraph` (it supplies
+        derived predicates from column equivalence classes); *schemas* maps
+        alias -> TableSchema of every leg (to compile outer-side getters);
+        *sel_of* estimates a join predicate's selectivity, used to pick the
+        most selective indexed access predicate.
+        """
+        available = graph.available_predicates(self.alias, preceding)
+        if not available and len(schemas) > 1:
+            raise ExecutionError(
+                f"leg {self.alias!r} has no available join predicate; "
+                "the order is disconnected"
+            )
+        indexed = [
+            predicate
+            for predicate in available
+            if predicate.column_of(self.alias) in self.indexes
+        ]
+        access: JoinPredicate | None = None
+        hash_column: str | None = None
+        if available and self.hash_policy is HashProbePolicy.ALWAYS:
+            access = min(available, key=sel_of)
+            hash_column = access.column_of(self.alias)
+        elif indexed:
+            access = min(indexed, key=sel_of)
+        elif available and self.hash_policy is HashProbePolicy.FALLBACK:
+            # No usable index: a hash build beats a full scan per probe.
+            access = min(available, key=sel_of)
+            hash_column = access.column_of(self.alias)
+        residual = [p for p in available if p is not access]
+
+        def getter_for(predicate: JoinPredicate) -> Callable[[Binding], Any]:
+            other = predicate.other(self.alias)
+            slot = schemas[other].position_of(predicate.column_of(other))
+
+            def get(binding: Binding) -> Any:
+                return binding[other][slot]
+
+            return get
+
+        key_getter = getter_for(access) if access is not None else None
+        residual_compiled = tuple(
+            (getter_for(p), self.schema.position_of(p.column_of(self.alias)))
+            for p in residual
+        )
+        self.probe_config = ProbeConfig(
+            access_index=self.indexes[access.column_of(self.alias)]
+            if access is not None and hash_column is None
+            else None,
+            access_predicate=access,
+            key_getter=key_getter,
+            residual_joins=residual_compiled,
+            available_predicates=tuple(available),
+            hash_column=hash_column,
+        )
+        self.incoming_since_check = 0
+
+    def probe(self, binding: Binding) -> list[Row]:
+        """All rows of this leg matching the outer *binding*.
+
+        Returns fully filtered rows (access + residual joins + locals +
+        positional predicate) and feeds the leg monitor.
+        """
+        config = self.probe_config
+        if config is None:
+            raise ExecutionError(f"leg {self.alias!r} has no probe config")
+        meter = self.meter
+        work_before = meter.execution_units if self.monitoring_enabled else 0.0
+
+        skip_locals = False
+        if config.hash_column is not None and config.key_getter is not None:
+            key = config.key_getter(binding)
+            candidates = self._hash_table_for(config.hash_column).probe(
+                key, meter
+            )
+            # Hash builds are pre-filtered by the local predicates.
+            skip_locals = True
+        elif config.access_index is not None and config.key_getter is not None:
+            key = config.key_getter(binding)
+            rids = config.access_index.lookup_rids(key)
+            candidates = [(rid, self.table.fetch(rid)) for rid in rids]
+        else:
+            candidates = list(self.table.scan())
+        index_matches = len(candidates)
+
+        matches: list[Row] = []
+        for rid, row in candidates:
+            if not self._passes_residuals(binding, rid, row, config, skip_locals):
+                continue
+            matches.append(row)
+
+        if self.monitoring_enabled:
+            work = meter.execution_units - work_before
+            self.monitor.record_probe(index_matches, len(matches), work)
+            meter.charge_monitor_update()
+            self.incoming_since_check += 1
+        return matches
+
+    def _hash_table_for(self, column: str) -> HashProbeTable:
+        table = self._hash_tables.get(column)
+        if table is None:
+            table = HashProbeTable(
+                self.table,
+                column,
+                self.local_tests,
+                self.meter,
+                local_counts=self.local_counts if self.monitoring_enabled else None,
+            )
+            self._hash_tables[column] = table
+        return table
+
+    def _passes_residuals(
+        self,
+        binding: Binding,
+        rid: int,
+        row: Row,
+        config: ProbeConfig,
+        skip_locals: bool = False,
+    ) -> bool:
+        # Local predicates first: they also reject rows whose scan-order key
+        # is NULL, so the positional comparison below never sees NULLs.
+        # (Hash candidates were filtered at build time; rows with NULL
+        # scan-order keys fail the pushed local predicate there too.)
+        for slot, (_, test) in enumerate(self.local_tests):
+            if skip_locals:
+                break
+            self.meter.charge_predicate_eval()
+            passed = test(row)
+            if self.monitoring_enabled:
+                counts = self.local_counts[slot]
+                counts[0] += 1
+                counts[1] += 1 if passed else 0
+            if not passed:
+                return False
+        if self.positional is not None:
+            self.meter.charge_predicate_eval()
+            if not self.positional.test(rid, row):
+                return False
+        for get_outer, slot in config.residual_joins:
+            self.meter.charge_predicate_eval()
+            cell = row[slot]
+            if cell is None or cell != get_outer(binding):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Driving-leg role
+    # ------------------------------------------------------------------
+    def open_driving_cursor(self, resume: Cursor | None = None) -> Cursor:
+        """Create (or resume) the driving scan cursor for this leg."""
+        if resume is not None:
+            cursor = resume
+        else:
+            spec = self.plan_leg.driving
+            if spec.kind is DrivingKind.INDEX_SCAN:
+                index = self.indexes.get(spec.index_column or "")
+                if index is None:
+                    raise ExecutionError(
+                        f"leg {self.alias!r}: driving index on "
+                        f"{spec.index_column!r} does not exist"
+                    )
+                cursor = IndexScanCursor(index, list(spec.ranges))
+            else:
+                cursor = TableScanCursor(self.table)
+        self.driving_monitor = DrivingMonitor(self._history_window)
+        return cursor
+
+    def driving_rows(self, cursor: Cursor) -> Iterator[Row]:
+        """Scan rows through *cursor*, applying residual local predicates.
+
+        For index scans the pushed-down ranges already enforce the chosen
+        sargable predicate, so only the *other* local predicates are
+        rechecked (matching how S_LPI and S_LPR are monitored separately,
+        Sec 4.3.1).
+        """
+        pushed = self._pushed_predicate(cursor)
+        residual_tests = [
+            test for predicate, test in self.local_tests if predicate is not pushed
+        ]
+        monitor = self.driving_monitor
+        for _, row in cursor:
+            self.meter.charge_predicate_eval(len(residual_tests))
+            survived = all(test(row) for test in residual_tests)
+            if self.monitoring_enabled and monitor is not None:
+                monitor.record_scanned(survived)
+                self.meter.charge_monitor_update()
+            if survived:
+                yield row
+
+    def _pushed_predicate(self, cursor: Cursor):
+        """The local predicate enforced by the cursor's index ranges."""
+        if not isinstance(cursor, IndexScanCursor):
+            return None
+        column = cursor.index.column
+        spec = self.plan_leg.driving
+        if spec.kind is not DrivingKind.INDEX_SCAN or spec.index_column != column:
+            # A dynamically chosen access path: find the matching predicate.
+            for predicate, _ in self.local_tests:
+                if predicate.key_ranges(column) is not None:
+                    return predicate
+            return None
+        for predicate, _ in self.local_tests:
+            if predicate.key_ranges(column) is not None:
+                return predicate
+        return None
+
+    def pushed_driving_predicate(self):
+        """The local predicate the driving spec pushes into its index scan."""
+        spec = self.plan_leg.driving
+        if spec.kind is not DrivingKind.INDEX_SCAN or spec.index_column is None:
+            return None
+        for predicate, _ in self.local_tests:
+            if predicate.key_ranges(spec.index_column) is not None:
+                return predicate
+        return None
+
+    # ------------------------------------------------------------------
+    # Monitoring-derived numbers used by the controller
+    # ------------------------------------------------------------------
+    def measured_local_selectivity(self, predicate_slot: int) -> float | None:
+        evaluated, passed = self.local_counts[predicate_slot]
+        if evaluated == 0:
+            return None
+        return passed / evaluated

@@ -1,0 +1,307 @@
+"""The pipelined indexed nested-loop join executor.
+
+Execution is an explicit state machine over leg positions rather than nested
+generators, because the adaptive layer must be able to permute the pipeline
+*between* rows:
+
+* position 0 holds the driving cursor; position ``i`` holds the iterator of
+  the inner leg's matches for the current outer row;
+* when the iterator at position ``i`` is exhausted, control moves back to
+  ``i - 1`` — at that exact moment every leg at position >= ``i`` is in the
+  paper's *depleted state* (Sec 4.1), and the executor offers the suffix to
+  the adaptation controller for reordering;
+* when control returns to position 0, the whole pipeline is depleted and the
+  controller may switch the driving leg (Sec 4.2).
+
+The executor owns the mutation primitives (:meth:`apply_inner_order`,
+:meth:`apply_driving_switch`); *deciding* when and how to use them is the
+controller's job, so a ``NONE``-mode run simply never mutates anything.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Protocol
+
+from repro.catalog.catalog import Catalog
+from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.core.positions import PositionRegistry
+from repro.errors import ExecutionError
+from repro.executor.access import Binding, Cursor, RuntimeLeg
+from repro.optimizer.plans import PipelinePlan
+from repro.storage.counters import WorkMeter
+from repro.storage.table import Row
+
+
+class AdaptationHooks(Protocol):
+    """What the executor expects from an adaptation controller."""
+
+    def on_suffix_depleted(self, position: int) -> None:
+        """Legs at positions >= *position* are depleted; may reorder them."""
+        ...
+
+    def on_pipeline_depleted(self) -> bool:
+        """Whole pipeline depleted (before the next driving row).
+
+        Returns True when the driving leg was switched (the executor then
+        restarts its iterator stack from the new driving cursor).
+        """
+        ...
+
+
+class _NoAdaptation:
+    """Inert controller used for ReorderMode.NONE."""
+
+    def on_suffix_depleted(self, position: int) -> None:
+        return None
+
+    def on_pipeline_depleted(self) -> bool:
+        return False
+
+
+class PipelineExecutor:
+    """Runs one pipelined plan, optionally under adaptive reordering."""
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        catalog: Catalog,
+        config: AdaptiveConfig | None = None,
+        controller: AdaptationHooks | None = None,
+    ) -> None:
+        self.plan = plan
+        self.catalog = catalog
+        self.config = config if config is not None else AdaptiveConfig(mode=ReorderMode.NONE)
+        self.controller: AdaptationHooks = (
+            controller if controller is not None else _NoAdaptation()
+        )
+        monitoring = self.config.mode.monitors
+        self.legs = {
+            alias: RuntimeLeg(
+                plan.leg(alias),
+                catalog,
+                self.config.history_window,
+                monitoring,
+                hash_policy=self.config.hash_probe_policy,
+            )
+            for alias in plan.order
+        }
+        self.order: list[str] = list(plan.order)
+        self.schemas = {alias: leg.schema for alias, leg in self.legs.items()}
+        self.join_graph = plan.query.join_graph()
+        # Live join selectivities, keyed by column equivalence class: start
+        # from optimizer estimates, refined from monitored values (Eq 7).
+        self.class_selectivities: dict[int, float] = dict(
+            plan.class_selectivities
+        )
+        self.registry = PositionRegistry()
+        self.last_abandoned_driving: str | None = None
+        # How many times each leg has been switched *away from* while
+        # driving; feeds the escalating anti-thrash penalty.
+        self.abandon_counts: dict[str, int] = {}
+        self.driving_cursor: Cursor | None = None
+        self._driving_iter: Iterator[Row] | None = None
+        self._projector = self._compile_projection()
+        # Statistics for the experiments.
+        self.inner_reorders = 0
+        self.driving_switches = 0
+        self.driving_rows_since_check = 0
+        self.driving_rows_total = 0
+        # Applied adaptation decisions, in order (core.events).
+        self.events: list = []
+        self.rows_emitted = 0
+        self.order_history: list[tuple[str, ...]] = [tuple(self.order)]
+        self.wall_seconds = 0.0
+        self.work: WorkMeter | None = None  # this run's work delta
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _compile_projection(self) -> Callable[[Binding], tuple[Any, ...]]:
+        slots = [
+            (output.alias, self.schemas[output.alias].position_of(output.column))
+            for output in self.plan.projection
+        ]
+
+        def project(binding: Binding) -> tuple[Any, ...]:
+            return tuple(binding[alias][slot] for alias, slot in slots)
+
+        return project
+
+    def _compile_all_probes(self, start_position: int = 1) -> None:
+        for position in range(start_position, len(self.order)):
+            alias = self.order[position]
+            self._compile_probe_at(position, alias)
+
+    def predicate_selectivity(self, predicate) -> float:
+        """Live selectivity estimate of a (possibly derived) join predicate."""
+        class_id = self.join_graph.class_id(predicate.left, predicate.left_column)
+        if class_id is None:
+            return 0.01
+        return self.class_selectivities.get(class_id, 0.01)
+
+    def _compile_probe_at(self, position: int, alias: str) -> None:
+        leg = self.legs[alias]
+        previous_access = (
+            leg.probe_config.access_predicate if leg.probe_config else None
+        )
+        leg.compile_probe(
+            preceding=self.order[:position],
+            graph=self.join_graph,
+            schemas=self.schemas,
+            sel_of=self.predicate_selectivity,
+        )
+        new_access = leg.probe_config.access_predicate if leg.probe_config else None
+        if previous_access is not None and new_access != previous_access:
+            # The probe semantics changed; old windowed counters no longer
+            # describe the new access pattern.
+            leg.monitor.reset()
+        leg.positional = self.registry.predicate_for(alias)
+
+    def _open_driving(self, alias: str) -> None:
+        leg = self.legs[alias]
+        resume = self.registry.resume_cursor(alias)
+        self.driving_cursor = leg.open_driving_cursor(resume=resume)
+        self._driving_iter = leg.driving_rows(self.driving_cursor)
+        leg.positional = None  # the cursor position already excludes the past
+
+    # ------------------------------------------------------------------
+    # Mutation primitives used by the adaptation controller
+    # ------------------------------------------------------------------
+    def apply_inner_order(self, position: int, new_suffix: list[str]) -> None:
+        """Reorder the depleted suffix starting at *position* (>= 1)."""
+        if position < 1:
+            raise ExecutionError("inner reordering cannot move the driving leg")
+        current_suffix = self.order[position:]
+        if sorted(current_suffix) != sorted(new_suffix):
+            raise ExecutionError(
+                f"new suffix {new_suffix} is not a permutation of "
+                f"{current_suffix}"
+            )
+        if new_suffix == current_suffix:
+            return
+        self.order[position:] = new_suffix
+        self._compile_all_probes(start_position=position)
+        self.inner_reorders += 1
+        self.order_history.append(tuple(self.order))
+
+    def apply_driving_switch(self, new_order: list[str]) -> None:
+        """Switch the driving leg; only legal when the pipeline is depleted."""
+        if sorted(new_order) != sorted(self.order):
+            raise ExecutionError(
+                f"new order {new_order} is not a permutation of {self.order}"
+            )
+        old_driving = self.order[0]
+        new_driving = new_order[0]
+        if new_driving == old_driving:
+            raise ExecutionError(
+                "apply_driving_switch called without a driving change; use "
+                "apply_inner_order for inner-leg moves"
+            )
+        if self.driving_cursor is None:
+            raise ExecutionError("pipeline has not started")
+        # Freeze the outgoing driving scan; from now on the old driving leg
+        # carries a positional predicate whenever it serves as an inner leg.
+        self.registry.freeze(old_driving, self.driving_cursor)
+        self.last_abandoned_driving = old_driving
+        self.abandon_counts[old_driving] = (
+            self.abandon_counts.get(old_driving, 0) + 1
+        )
+        self.order = list(new_order)
+        self._open_driving(new_driving)
+        self._compile_all_probes(start_position=1)
+        # The new driving leg's inner-probe history is stale with respect to
+        # its new role; its scan monitor restarts inside open_driving_cursor.
+        self.legs[new_driving].monitor.reset()
+        self.driving_switches += 1
+        self.driving_rows_since_check = 0
+        self.order_history.append(tuple(self.order))
+
+    @property
+    def total_switches(self) -> int:
+        return self.inner_reorders + self.driving_switches
+
+    @property
+    def work_units(self) -> float:
+        """Total work units this execution charged (0.0 before completion)."""
+        return self.work.total_units if self.work is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Execute the pipeline, yielding projected result rows."""
+        if self._started:
+            raise ExecutionError("a PipelineExecutor instance runs only once")
+        self._started = True
+        started_at = time.perf_counter()
+        before = self.catalog.meter.snapshot()
+        try:
+            yield from self._run()
+        finally:
+            self.wall_seconds = time.perf_counter() - started_at
+            self.work = self.catalog.meter - before
+
+    def _run(self) -> Iterator[tuple[Any, ...]]:
+        self._open_driving(self.order[0])
+        self._compile_all_probes()
+        leg_count = len(self.order)
+        meter = self.catalog.meter
+        if leg_count == 1:
+            only = self.order[0]
+            assert self._driving_iter is not None
+            for row in self._driving_iter:
+                self.rows_emitted += 1
+                meter.charge_row_emitted()
+                yield self._projector({only: row})
+            return
+
+        binding: Binding = {}
+        # iterators[i] yields rows for the leg at position i; index 0 is the
+        # driving iterator, others are per-outer-row match lists.
+        iterators: list[Iterator[Row] | None] = [None] * leg_count
+        position = 0
+        last = leg_count - 1
+        while True:
+            if position == 0:
+                # Whole pipeline depleted: the controller may switch the
+                # driving leg before the next outer row is fetched.
+                if self.controller.on_pipeline_depleted():
+                    leg_count = len(self.order)
+                    last = leg_count - 1
+                    binding.clear()
+                assert self._driving_iter is not None
+                row = next(self._driving_iter, None)
+                if row is None:
+                    return
+                self.driving_rows_since_check += 1
+                self.driving_rows_total += 1
+                binding[self.order[0]] = row
+                position = 1
+                iterators[1] = iter(
+                    self.legs[self.order[1]].probe(binding)
+                )
+                continue
+            iterator = iterators[position]
+            assert iterator is not None
+            row = next(iterator, None)
+            if row is None:
+                # Legs at positions >= position are depleted (Sec 4.1).
+                self.controller.on_suffix_depleted(position)
+                position -= 1
+                continue
+            binding[self.order[position]] = row
+            if position == last:
+                self.rows_emitted += 1
+                meter.charge_row_emitted()
+                yield self._projector(binding)
+                continue
+            position += 1
+            iterators[position] = iter(
+                self.legs[self.order[position]].probe(binding)
+            )
+
+    def run_to_completion(self) -> list[tuple[Any, ...]]:
+        """Execute and collect every result row."""
+        return list(self.rows())

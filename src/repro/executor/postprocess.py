@@ -1,0 +1,174 @@
+"""Blocking operators above the adaptive pipeline (Sec 3.1, footnote 3).
+
+Aggregation, sorting, and LIMIT consume the pipeline's output *after* all
+join processing. They are insensitive to run-time reordering because the
+pipeline's output multiset is order-invariant; in particular, the sort
+operator is exactly the paper's footnote-3 remedy for the implicit sort
+order a driving-leg switch destroys.
+
+The post-processor receives the pipeline's projection (the columns the
+pipeline actually emits) and maps the query's select list, group keys, and
+order keys onto those slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggFunc, Aggregate, OrderItem
+from repro.query.query import OutputColumn, QuerySpec
+
+Row = tuple[Any, ...]
+
+
+class _Accumulator:
+    """State for one aggregate within one group."""
+
+    __slots__ = ("func", "count", "total", "extreme")
+
+    def __init__(self, func: AggFunc) -> None:
+        self.func = func
+        self.count = 0
+        self.total = 0
+        self.extreme: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.func is AggFunc.COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return  # SQL aggregates ignore NULLs
+        self.count += 1
+        if self.func in (AggFunc.SUM, AggFunc.AVG):
+            self.total += value
+        elif self.func is AggFunc.MIN:
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif self.func is AggFunc.MAX:
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self) -> Any:
+        if self.func in (AggFunc.COUNT, AggFunc.COUNT_STAR):
+            return self.count
+        if self.func is AggFunc.SUM:
+            return self.total if self.count else None
+        if self.func is AggFunc.AVG:
+            return self.total / self.count if self.count else None
+        return self.extreme
+
+
+def _sort_key_for(slot: int):
+    def key(row: Row):
+        value = row[slot]
+        return (value is not None, value)  # NULLs first, then comparable
+
+    return key
+
+
+class PostProcessor:
+    """Applies aggregation, ordering, and LIMIT to pipeline output rows."""
+
+    def __init__(
+        self, spec: QuerySpec, pipeline_projection: Sequence[OutputColumn]
+    ) -> None:
+        self.spec = spec
+        self._slots = {column: i for i, column in enumerate(pipeline_projection)}
+
+    def _slot(self, column: OutputColumn) -> int:
+        try:
+            return self._slots[column]
+        except KeyError:
+            raise QueryError(
+                f"column {column} is not produced by the pipeline"
+            ) from None
+
+    def process(self, rows: list[Row]) -> list[Row]:
+        spec = self.spec
+        if any(isinstance(item, Aggregate) for item in spec.select_items):
+            rows = self._aggregate(rows)
+            slots = {column: self._slot_in_output(column) for column in spec.group_by}
+        else:
+            slots = None
+        rows = self._order(rows, slots)
+        if spec.limit is not None:
+            rows = rows[: spec.limit]
+        if not any(isinstance(i, Aggregate) for i in spec.select_items):
+            rows = self._project(rows)
+        return rows
+
+    # -- aggregation -------------------------------------------------------
+    def _aggregate(self, rows: list[Row]) -> list[Row]:
+        spec = self.spec
+        group_slots = [self._slot(column) for column in spec.group_by]
+        aggregate_items = [
+            item for item in spec.select_items if isinstance(item, Aggregate)
+        ]
+        aggregate_slots = [
+            self._slot(item.column) if item.column is not None else None
+            for item in aggregate_items
+        ]
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for row in rows:
+            key = tuple(row[slot] for slot in group_slots)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(item.func) for item in aggregate_items]
+                groups[key] = accumulators
+            for accumulator, slot in zip(accumulators, aggregate_slots):
+                accumulator.add(row[slot] if slot is not None else None)
+        if not groups and not spec.group_by:
+            # Global aggregate over zero rows still yields one row.
+            groups[()] = [_Accumulator(item.func) for item in aggregate_items]
+        # Output rows follow the select-list order, drawing group-key
+        # values and aggregate results as the items dictate.
+        output = []
+        for key, accumulators in groups.items():
+            key_by_column = dict(zip(spec.group_by, key))
+            aggregate_results = iter(
+                accumulator.result() for accumulator in accumulators
+            )
+            row = tuple(
+                next(aggregate_results)
+                if isinstance(item, Aggregate)
+                else key_by_column[item]
+                for item in spec.select_items
+            )
+            output.append(row)
+        return output
+
+    def _slot_in_output(self, column: OutputColumn) -> int:
+        """Position of a group-by column in the aggregated output rows."""
+        for index, item in enumerate(self.spec.select_items):
+            if item == column:
+                return index
+        raise QueryError(
+            f"ORDER BY {column} must appear in the select list of an "
+            "aggregate query"
+        )
+
+    # -- ordering & projection ---------------------------------------------
+    def _order(
+        self, rows: list[Row], aggregated_slots: dict | None
+    ) -> list[Row]:
+        order_by: tuple[OrderItem, ...] = self.spec.order_by
+        if not order_by:
+            return rows
+        rows = list(rows)
+        for item in reversed(order_by):  # stable sort composes keys
+            if aggregated_slots is not None:
+                slot = aggregated_slots[item.column]
+            else:
+                slot = self._slot(item.column)
+            rows.sort(key=_sort_key_for(slot), reverse=item.descending)
+        return rows
+
+    def _project(self, rows: list[Row]) -> list[Row]:
+        spec = self.spec
+        if not spec.select_items:
+            return rows  # SELECT * (possibly with ORDER BY/LIMIT)
+        slots = [self._slot(item) for item in spec.select_items]
+        if slots == list(range(len(self._slots))):
+            return rows
+        return [tuple(row[slot] for slot in slots) for row in rows]

@@ -1,0 +1,39 @@
+"""Static optimization: selectivity estimation, Eq (1) cost model, plans."""
+
+from repro.optimizer.cost import (
+    LegParamsProvider,
+    best_order_exhaustive,
+    cost_of_order,
+    greedy_rank_order,
+    greedy_rank_suffix,
+    rank,
+)
+from repro.optimizer.optimizer import StaticOptimizer
+from repro.optimizer.params import ModelProvider, TableModel
+from repro.optimizer.plans import (
+    DrivingKind,
+    DrivingSpec,
+    LegEstimates,
+    PipelinePlan,
+    PlanLeg,
+)
+from repro.optimizer.selectivity import Estimator, join_selectivity
+
+__all__ = [
+    "DrivingKind",
+    "DrivingSpec",
+    "Estimator",
+    "LegEstimates",
+    "LegParamsProvider",
+    "ModelProvider",
+    "PipelinePlan",
+    "PlanLeg",
+    "StaticOptimizer",
+    "TableModel",
+    "best_order_exhaustive",
+    "cost_of_order",
+    "greedy_rank_order",
+    "greedy_rank_suffix",
+    "join_selectivity",
+    "rank",
+]

@@ -1,0 +1,221 @@
+"""The pipelined-plan cost model (Sec 3.2) and rank ordering (Sec 3.3).
+
+Cost of a pipelined plan (Eq 1)::
+
+    Cost(plan) = sum_i  PC(T_o(i)) * prod_{j<i} JC(T_o(j))
+
+with ``JC(T_o(0)) = 1`` and ``JC(T_o(1)) = C_LEG(T_o(1))``. The first term is
+therefore the driving leg's *whole-scan* cost counted once; each inner leg's
+probe cost is paid once per row flowing into it.
+
+Rank of an inner leg (Eq 3)::
+
+    rank(T) = (JC(T) - 1) / PC(T)
+
+By the adjacent-sequence-interchange (ASI) property, for a fixed driving leg
+and position-independent parameters, ordering inner legs by ascending rank
+(Eq 4) minimises Eq 1.
+
+The same model is used twice: at compile time with optimizer estimates, and
+at run time with monitored values (Sec 4.3). Both sides implement
+:class:`LegParamsProvider`; parameters are *position dependent* (``bound``
+is the set of legs already in the pipeline before this one) because join
+predicate availability changes with the order in cyclic graphs (Sec 4.3.4).
+
+Probe-cost helpers model the engine's actual work-unit charges so that the
+optimizer's PC and the meter's measured work agree in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+from repro.query.joingraph import JoinGraph
+from repro.storage import counters
+
+
+class LegParamsProvider(Protocol):
+    """Position-dependent (JC, PC) parameters for cost evaluation."""
+
+    def driving_params(self, alias: str) -> tuple[float, float]:
+        """Return (C_LEG, whole-scan PC) for *alias* as the driving leg."""
+        ...
+
+    def inner_params(self, alias: str, bound: frozenset[str]) -> tuple[float, float]:
+        """Return (JC, per-row PC) for *alias* as an inner leg after *bound*."""
+        ...
+
+
+def rank(jc: float, pc: float) -> float:
+    """Eq (3): rank(T) = (JC(T) - 1) / PC(T)."""
+    return (jc - 1.0) / max(pc, 1e-12)
+
+
+def cost_of_order(order: Sequence[str], provider: LegParamsProvider) -> float:
+    """Eq (1) evaluated left to right over *order*."""
+    if not order:
+        return 0.0
+    cleg, scan_pc = provider.driving_params(order[0])
+    cost = scan_pc
+    flow = cleg
+    bound = {order[0]}
+    for alias in order[1:]:
+        jc, pc = provider.inner_params(alias, frozenset(bound))
+        cost += flow * pc
+        flow *= jc
+        bound.add(alias)
+    return cost
+
+
+def greedy_rank_suffix(
+    prefix: Sequence[str],
+    remaining: Iterable[str],
+    graph: JoinGraph,
+    provider: LegParamsProvider,
+) -> tuple[str, ...]:
+    """Extend *prefix* with the remaining legs in ascending-rank order.
+
+    Connectivity is respected: at each step only legs with at least one
+    available join predicate are eligible, so no leg degenerates into a
+    Cartesian product. (If the join graph itself is disconnected, the
+    remaining legs are appended by rank as a last resort.)
+    """
+    order = list(prefix)
+    remaining = [alias for alias in remaining if alias not in order]
+    bound = set(order)
+    while remaining:
+        eligible = [
+            alias
+            for alias in remaining
+            if graph.available_predicates(alias, bound)
+        ]
+        if not eligible:
+            eligible = list(remaining)
+        ranked = min(
+            eligible,
+            key=lambda alias: rank(*provider.inner_params(alias, frozenset(bound))),
+        )
+        order.append(ranked)
+        remaining.remove(ranked)
+        bound.add(ranked)
+    return tuple(order)
+
+
+def greedy_rank_order(
+    driving: str,
+    inner_aliases: Iterable[str],
+    graph: JoinGraph,
+    provider: LegParamsProvider,
+) -> tuple[str, ...]:
+    """Full order for a fixed driving leg: Eq (4) ascending-rank greedily."""
+    return greedy_rank_suffix((driving,), inner_aliases, graph, provider)
+
+
+def best_order_exhaustive(
+    aliases: Sequence[str],
+    graph: JoinGraph,
+    provider: LegParamsProvider,
+    fixed_prefix: Sequence[str] = (),
+) -> tuple[tuple[str, ...], float]:
+    """Cheapest connected order by exhaustive enumeration.
+
+    *fixed_prefix* pins the first legs (e.g. the already-running driving
+    leg), so only the suffix is permuted. Suitable for the small pipelines
+    (k <= 7) the paper evaluates; the search space is the set of connected
+    orders, which is far smaller than k!.
+    """
+    best: tuple[str, ...] | None = None
+    best_cost = float("inf")
+    prefix = tuple(fixed_prefix)
+    alias_set = set(aliases)
+    for order in graph.connected_orders(prefix):
+        if set(order) != alias_set:
+            continue
+        cost = cost_of_order(order, provider)
+        if cost < best_cost:
+            best, best_cost = order, cost
+    if best is None:
+        # Disconnected graph: fall back to the given order.
+        best = tuple(aliases)
+        best_cost = cost_of_order(best, provider)
+    return best, best_cost
+
+
+# ---------------------------------------------------------------------------
+# Probe-cost models (aligned with WorkMeter charges)
+# ---------------------------------------------------------------------------
+
+def probe_cost_via_index(
+    base_cardinality: float,
+    index_match_fraction: float,
+    residual_predicate_count: int,
+) -> float:
+    """Expected work units for one indexed probe of an inner leg.
+
+    One index descend, then per matching entry: the entry touch, the heap
+    fetch, and the residual predicate evaluations.
+    """
+    matches = max(base_cardinality * index_match_fraction, 0.0)
+    per_match = (
+        counters.INDEX_ENTRY_COST
+        + counters.ROW_FETCH_COST
+        + residual_predicate_count * counters.PREDICATE_EVAL_COST
+    )
+    return counters.INDEX_DESCEND_COST + matches * per_match
+
+
+def probe_cost_via_scan(
+    base_cardinality: float, predicate_count: int
+) -> float:
+    """Expected work units for one full-scan probe (no usable index)."""
+    per_row = (
+        counters.ROW_FETCH_COST
+        + max(predicate_count, 1) * counters.PREDICATE_EVAL_COST
+    )
+    return base_cardinality * per_row
+
+
+def probe_cost_via_hash(
+    base_cardinality: float,
+    match_fraction: float,
+    residual_predicate_count: int,
+) -> float:
+    """Expected work units for one hash probe (Sec 6 extension).
+
+    The one-off build cost is excluded: it is charged when the build
+    happens and amortizes over the incoming rows (the monitored PC then
+    calibrates the model).
+    """
+    matches = max(base_cardinality * match_fraction, 0.0)
+    per_match = (
+        counters.HASH_MATCH_COST
+        + residual_predicate_count * counters.PREDICATE_EVAL_COST
+    )
+    return counters.HASH_PROBE_COST + matches * per_match
+
+
+def driving_scan_cost_index(
+    base_cardinality: float,
+    index_selectivity: float,
+    range_count: int,
+    residual_predicate_count: int,
+) -> float:
+    """Whole-scan work units for an index-scan driving leg."""
+    matches = max(base_cardinality * index_selectivity, 0.0)
+    per_match = (
+        counters.INDEX_ENTRY_COST
+        + counters.ROW_FETCH_COST
+        + residual_predicate_count * counters.PREDICATE_EVAL_COST
+    )
+    return max(range_count, 1) * counters.INDEX_DESCEND_COST + matches * per_match
+
+
+def driving_scan_cost_table(
+    base_cardinality: float, predicate_count: int
+) -> float:
+    """Whole-scan work units for a table-scan driving leg."""
+    per_row = (
+        counters.ROW_FETCH_COST
+        + predicate_count * counters.PREDICATE_EVAL_COST
+    )
+    return base_cardinality * per_row

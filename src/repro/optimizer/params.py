@@ -1,0 +1,163 @@
+"""A shared, model-driven implementation of :class:`LegParamsProvider`.
+
+Both the static optimizer and the run-time adaptation controller evaluate
+candidate orders through the same Eq (1) machinery; the only difference is
+where the per-table numbers come from (catalog statistics vs. run-time
+monitors). :class:`TableModel` is that common parameter record and
+:class:`ModelProvider` turns a set of them into position-dependent (JC, PC)
+pairs, handling join-predicate availability per Sec 4.3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.optimizer.cost import (
+    driving_scan_cost_index,
+    driving_scan_cost_table,
+    probe_cost_via_hash,
+    probe_cost_via_index,
+    probe_cost_via_scan,
+)
+from repro.optimizer.plans import DrivingKind
+from repro.query.joingraph import JoinGraph, JoinPredicate
+
+
+@dataclass(frozen=True)
+class TableModel:
+    """Per-table parameters feeding the cost model.
+
+    ``sel_local_index`` / ``sel_local_residual`` are the paper's S_LPI and
+    S_LPR (Sec 4.3.1); their product with ``base_cardinality`` is C_LEG
+    (Eq 9).
+    """
+
+    alias: str
+    base_cardinality: float
+    sel_local_index: float
+    sel_local_residual: float
+    local_predicate_count: int
+    indexed_columns: frozenset[str]
+    driving_kind: DrivingKind
+    driving_range_count: int = 1
+    # Extra multiplicative factor on the leg's cardinality when driving
+    # (used at run time to account for the unscanned remainder of a leg
+    # that has already been partially consumed as the driving leg).
+    remaining_fraction: float = 1.0
+    # Run-time calibration: ratio of the monitored JC/PC to the model's
+    # prediction at the leg's *current* position. Carrying the ratio (rather
+    # than the raw measurement) lets the Sec 4.3.4 availability adjustment
+    # fall out of re-evaluating the model at a candidate position.
+    jc_correction: float = 1.0
+    pc_correction: float = 1.0
+    # Sec 6 extension: probes without a usable index go through an
+    # in-memory hash table instead of a full scan.
+    hash_probes: bool = False
+
+    @property
+    def sel_local(self) -> float:
+        return self.sel_local_index * self.sel_local_residual
+
+    @property
+    def leg_cardinality(self) -> float:
+        return self.base_cardinality * self.sel_local
+
+    def with_remaining_fraction(self, fraction: float) -> "TableModel":
+        return replace(self, remaining_fraction=max(min(fraction, 1.0), 0.0))
+
+
+DEFAULT_CLASS_SELECTIVITY = 0.01
+
+
+class ModelProvider:
+    """Evaluates (JC, PC) for legs from :class:`TableModel` records.
+
+    Join-predicate selectivities are keyed by the join graph's column
+    **equivalence class**, so a derived predicate (implied by transitivity)
+    shares the selectivity of the class it belongs to.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, TableModel],
+        class_selectivities: Mapping[int, float],
+        graph: JoinGraph,
+    ) -> None:
+        self.models = models
+        self.class_selectivities = class_selectivities
+        self.graph = graph
+
+    def _jp_sel(self, predicate: JoinPredicate) -> float:
+        class_id = self.graph.class_id(predicate.left, predicate.left_column)
+        if class_id is None:
+            return DEFAULT_CLASS_SELECTIVITY
+        return self.class_selectivities.get(class_id, DEFAULT_CLASS_SELECTIVITY)
+
+    def driving_params(self, alias: str) -> tuple[float, float]:
+        model = self.models[alias]
+        cleg = model.leg_cardinality * model.remaining_fraction
+        if model.driving_kind is DrivingKind.INDEX_SCAN:
+            scan_pc = driving_scan_cost_index(
+                model.base_cardinality * model.remaining_fraction,
+                model.sel_local_index,
+                model.driving_range_count,
+                # Residual locals are evaluated on every index match.
+                max(model.local_predicate_count - 1, 0),
+            )
+        else:
+            scan_pc = driving_scan_cost_table(
+                model.base_cardinality * model.remaining_fraction,
+                model.local_predicate_count,
+            )
+        return cleg, scan_pc
+
+    def inner_params(self, alias: str, bound: frozenset[str]) -> tuple[float, float]:
+        model = self.models[alias]
+        available = self.graph.available_predicates(alias, bound)
+        # JC(T): matches per incoming row after locals and all available
+        # join predicates (Sec 4.3.4 adjustment falls out of recomputing
+        # this per candidate position). Each equivalence class filters
+        # once, however many of its predicates are available.
+        jc = model.leg_cardinality * model.remaining_fraction
+        seen_classes: set[int | None] = set()
+        for predicate in available:
+            class_id = self.graph.class_id(alias, predicate.column_of(alias))
+            if class_id in seen_classes:
+                continue
+            seen_classes.add(class_id)
+            jc *= self._jp_sel(predicate)
+        jc *= model.jc_correction
+        indexed = [
+            predicate
+            for predicate in available
+            if predicate.column_of(alias) in model.indexed_columns
+        ]
+        if indexed:
+            # Probe through the most selective indexed join predicate; the
+            # others become residual checks.
+            access = min(indexed, key=self._jp_sel)
+            residual_count = (
+                len(available) - 1 + model.local_predicate_count
+            )
+            # Probe work is NOT reduced by a frozen scan position: the index
+            # still returns every match and the positional predicate rejects
+            # afterwards — only JC shrinks, not PC.
+            pc = probe_cost_via_index(
+                model.base_cardinality,
+                self._jp_sel(access),
+                residual_count,
+            )
+        elif model.hash_probes and available:
+            access = min(available, key=self._jp_sel)
+            pc = probe_cost_via_hash(
+                model.base_cardinality * model.sel_local,
+                self._jp_sel(access),
+                len(available) - 1,
+            )
+        else:
+            pc = probe_cost_via_scan(
+                model.base_cardinality,
+                len(available) + model.local_predicate_count,
+            )
+        return jc, pc * model.pc_correction

@@ -1,0 +1,132 @@
+"""Physical plan structures for pipelined NLJN plans.
+
+A :class:`PipelinePlan` is one join order over per-table *legs*. Each
+:class:`PlanLeg` carries everything needed to run the table in **either**
+role:
+
+* as the *driving* leg — a :class:`DrivingSpec` (table scan, or index scan
+  with pushed-down key ranges), and
+* as an *inner* leg — probed through whatever join-column index is available
+  given the legs bound before it (chosen at run time, because availability
+  changes when the order changes).
+
+This is the paper's "one initial execution plan with a small number of
+switchable single-table access plans" (Sec 1, contribution 1): the adaptive
+layer permutes legs of one plan instead of compiling many alternatives.
+
+Legs also carry the optimizer's cardinality/selectivity estimates; the
+run-time monitors start from these priors and refine them (Sec 4.3.3 notes
+the initial driving leg's index selectivity comes from the optimizer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.query.joingraph import JoinPredicate
+from repro.query.predicates import LocalPredicate
+from repro.query.query import OutputColumn, QuerySpec
+from repro.storage.cursor import KeyRange
+
+
+class DrivingKind(enum.Enum):
+    TABLE_SCAN = "table-scan"
+    INDEX_SCAN = "index-scan"
+
+
+@dataclass(frozen=True)
+class DrivingSpec:
+    """How a leg scans its table when it is the driving (outer-most) leg."""
+
+    kind: DrivingKind
+    index_column: str | None = None
+    ranges: tuple[KeyRange, ...] = ()
+    # Estimated selectivity of the predicate(s) pushed into the index scan
+    # (the paper's S_LPI); 1.0 for table scans.
+    est_index_selectivity: float = 1.0
+
+    def describe(self) -> str:
+        if self.kind is DrivingKind.TABLE_SCAN:
+            return "TABLE SCAN (RID order)"
+        return f"INDEX SCAN on {self.index_column} ({len(self.ranges)} range(s))"
+
+
+@dataclass(frozen=True)
+class LegEstimates:
+    """Optimizer estimates for one leg (the run-time monitors' priors)."""
+
+    base_cardinality: int
+    # S_LPI: selectivity of locals pushed into the driving index scan.
+    sel_local_index: float
+    # S_LPR: selectivity of the remaining (residual) local predicates.
+    sel_local_residual: float
+
+    @property
+    def sel_local(self) -> float:
+        return self.sel_local_index * self.sel_local_residual
+
+    @property
+    def leg_cardinality(self) -> float:
+        """C_LEG(T) = C(T) * S_LP(T) (Eq 9)."""
+        return self.base_cardinality * self.sel_local
+
+
+@dataclass(frozen=True)
+class PlanLeg:
+    """One table's switchable single-table access plan."""
+
+    alias: str
+    table_name: str
+    driving: DrivingSpec
+    local_predicates: tuple[LocalPredicate, ...]
+    estimates: LegEstimates
+
+    def describe(self) -> str:
+        locals_str = " AND ".join(str(p) for p in self.local_predicates) or "-"
+        return (
+            f"{self.alias} ({self.table_name}): driving={self.driving.describe()}, "
+            f"locals=[{locals_str}], "
+            f"C={self.estimates.base_cardinality}, "
+            f"est C_LEG={self.estimates.leg_cardinality:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A pipelined NLJN plan: an ordered sequence of legs."""
+
+    query: QuerySpec
+    order: tuple[str, ...]  # aliases, driving leg first
+    legs: Mapping[str, PlanLeg]
+    join_predicates: tuple[JoinPredicate, ...]
+    # Estimated selectivity per written join predicate (for display).
+    join_selectivities: Mapping[JoinPredicate, float]
+    # Estimated selectivity per join-column equivalence class (what the
+    # cost model actually consumes — covers derived predicates too).
+    class_selectivities: Mapping[int, float]
+    projection: tuple[OutputColumn, ...]
+    estimated_cost: float = float("nan")
+
+    def leg(self, alias: str) -> PlanLeg:
+        return self.legs[alias]
+
+    @property
+    def driving_alias(self) -> str:
+        return self.order[0]
+
+    def with_order(self, order: Sequence[str]) -> "PipelinePlan":
+        """The same plan with a different leg order (used for what-ifs)."""
+        return replace(self, order=tuple(order))
+
+    def explain(self) -> str:
+        lines = [f"PipelinePlan (estimated cost {self.estimated_cost:.1f} work units)"]
+        for position, alias in enumerate(self.order, start=1):
+            role = "DRIVING" if position == 1 else "INNER"
+            lines.append(f"  {position}. [{role}] {self.legs[alias].describe()}")
+        for predicate in self.join_predicates:
+            sel = self.join_selectivities.get(predicate)
+            sel_str = f" (est sel {sel:.2e})" if sel is not None else ""
+            lines.append(f"  JOIN {predicate}{sel_str}")
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Logical query layer: predicates, join graphs, query specs, SQL parsing."""
+
+from repro.query.joingraph import JoinGraph, JoinPredicate
+from repro.query.predicates import (
+    Between,
+    Comparison,
+    Disjunction,
+    InList,
+    IsNull,
+    LocalPredicate,
+    Op,
+    PositionalPredicate,
+)
+from repro.query.query import OutputColumn, QuerySpec
+
+__all__ = [
+    "Between",
+    "Comparison",
+    "Disjunction",
+    "InList",
+    "IsNull",
+    "JoinGraph",
+    "JoinPredicate",
+    "LocalPredicate",
+    "Op",
+    "OutputColumn",
+    "PositionalPredicate",
+    "QuerySpec",
+]

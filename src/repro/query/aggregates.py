@@ -1,0 +1,60 @@
+"""Aggregates and query-level modifiers (GROUP BY / ORDER BY / LIMIT).
+
+The paper's pipelines are often "a pipelined portion of a bigger and more
+complex plan" (Sec 3.1): blocking operators — aggregation, sorting — sit
+*above* the adaptive pipeline and are unaffected by reordering, because the
+pipeline's output multiset is invariant under it. Footnote 3 makes the one
+exception explicit: a driving-leg switch destroys the scan's implicit sort
+order, so "if a sort order needs to be maintained, we need to add a sort
+operator at the end of this pipeline" — which is exactly what an ``ORDER
+BY`` adds here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.query.query import OutputColumn
+
+
+class AggFunc(enum.Enum):
+    COUNT = "COUNT"       # COUNT(col): non-null values
+    COUNT_STAR = "COUNT(*)"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate call in the select list."""
+
+    func: AggFunc
+    column: OutputColumn | None = None  # None only for COUNT(*)
+
+    def __post_init__(self) -> None:
+        if self.func is AggFunc.COUNT_STAR and self.column is not None:
+            raise ValueError("COUNT(*) takes no column")
+        if self.func is not AggFunc.COUNT_STAR and self.column is None:
+            raise ValueError(f"{self.func.value} requires a column")
+
+    def __str__(self) -> str:
+        if self.func is AggFunc.COUNT_STAR:
+            return "COUNT(*)"
+        return f"{self.func.value}({self.column})"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: OutputColumn
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'DESC' if self.descending else 'ASC'}"
+
+
+SelectItem = OutputColumn | Aggregate

@@ -1,0 +1,277 @@
+"""Predicates over single tables, plus engine-internal positional predicates.
+
+Local predicates restrict one table. The supported forms cover the paper's
+workload: comparisons against constants, BETWEEN, IN-lists, and disjunctions
+of same-column equalities (Example 1's ``make='Chevrolet' OR
+make='Mercedes'``). Conjunction is implicit: a query carries a *list* of
+local predicates per table.
+
+Each predicate can:
+
+* ``bind(schema)`` — compile itself to a fast ``row -> bool`` closure,
+* ``key_ranges(column)`` — report the sargable key ranges it induces on a
+  column (or ``None`` if it is not sargable there), which is what the
+  optimizer and the run-time access layer use to push predicates into index
+  scans.
+
+:class:`PositionalPredicate` is not user-visible: it implements the paper's
+duplicate-prevention predicate ``key > v OR (key = v AND rid > r)`` for
+driving-leg switches (Sec 4.2). It is evaluated on (rid, row) pairs rather
+than rows alone because it constrains the scan *position*.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import QueryError
+from repro.storage.cursor import KeyRange, Position, ScanOrder
+from repro.storage.schema import TableSchema
+from repro.storage.table import Row
+
+RowTest = Callable[[Row], bool]
+
+
+class Op(enum.Enum):
+    """Comparison operators supported in local predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def fn(self) -> Callable[[Any, Any], bool]:
+        return _OP_FUNCTIONS[self]
+
+
+_OP_FUNCTIONS = {
+    Op.EQ: operator.eq,
+    Op.NE: operator.ne,
+    Op.LT: operator.lt,
+    Op.LE: operator.le,
+    Op.GT: operator.gt,
+    Op.GE: operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class LocalPredicate:
+    """Base class: a boolean condition on rows of a single table."""
+
+    def columns(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        raise NotImplementedError
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        """Sargable ranges this predicate induces on *column*, else None."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Comparison(LocalPredicate):
+    """``column <op> constant``. NULL never satisfies a comparison."""
+
+    column: str
+    op: Op
+    value: Any
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        pos = schema.position_of(self.column)
+        fn = self.op.fn
+        value = self.value
+
+        def test(row: Row) -> bool:
+            cell = row[pos]
+            return cell is not None and fn(cell, value)
+
+        return test
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        if column != self.column:
+            return None
+        if self.op is Op.EQ:
+            return [KeyRange.equal(self.value)]
+        if self.op is Op.LT:
+            return [KeyRange(high=self.value, high_inclusive=False)]
+        if self.op is Op.LE:
+            return [KeyRange(high=self.value)]
+        if self.op is Op.GT:
+            return [KeyRange(low=self.value, low_inclusive=False)]
+        if self.op is Op.GE:
+            return [KeyRange(low=self.value)]
+        return None  # <> is not sargable
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Between(LocalPredicate):
+    """``column BETWEEN low AND high`` (inclusive both ends)."""
+
+    column: str
+    low: Any
+    high: Any
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        pos = schema.position_of(self.column)
+        low, high = self.low, self.high
+
+        def test(row: Row) -> bool:
+            cell = row[pos]
+            return cell is not None and low <= cell <= high
+
+        return test
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        if column != self.column:
+            return None
+        return [KeyRange(low=self.low, high=self.high)]
+
+    def __str__(self) -> str:
+        return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class InList(LocalPredicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    def __init__(self, column: str, values: Sequence[Any]) -> None:
+        if not values:
+            raise QueryError(f"IN list for column {column!r} is empty")
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        pos = schema.position_of(self.column)
+        values = set(self.values)
+
+        def test(row: Row) -> bool:
+            return row[pos] in values
+
+        return test
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        if column != self.column:
+            return None
+        return [KeyRange.equal(value) for value in sorted(set(self.values))]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(value) for value in self.values)
+        return f"{self.column} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class IsNull(LocalPredicate):
+    """``column IS NULL`` / ``column IS NOT NULL``.
+
+    Never sargable here: NULLs are not stored in the indexes (SQL equality
+    semantics), so an IS NULL check must read the row.
+    """
+
+    column: str
+    negated: bool = False  # True = IS NOT NULL
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        pos = schema.position_of(self.column)
+        if self.negated:
+            return lambda row: row[pos] is not None
+        return lambda row: row[pos] is None
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.column} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class Disjunction(LocalPredicate):
+    """OR of same-table predicates, e.g. ``make='Chevrolet' OR make='Mercedes'``.
+
+    Sargable on a column only when *every* disjunct is sargable on it (the
+    union of the disjuncts' ranges then covers the disjunction).
+    """
+
+    terms: tuple[LocalPredicate, ...]
+
+    def __init__(self, terms: Sequence[LocalPredicate]) -> None:
+        flattened: list[LocalPredicate] = []
+        for term in terms:
+            if isinstance(term, Disjunction):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        if len(flattened) < 2:
+            raise QueryError("a disjunction needs at least two terms")
+        object.__setattr__(self, "terms", tuple(flattened))
+
+    def columns(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for term in self.terms:
+            for column in term.columns():
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
+
+    def bind(self, schema: TableSchema) -> RowTest:
+        tests = [term.bind(schema) for term in self.terms]
+
+        def test(row: Row) -> bool:
+            return any(t(row) for t in tests)
+
+        return test
+
+    def key_ranges(self, column: str) -> list[KeyRange] | None:
+        ranges: list[KeyRange] = []
+        for term in self.terms:
+            term_ranges = term.key_ranges(column)
+            if term_ranges is None:
+                return None
+            ranges.extend(term_ranges)
+        return ranges
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({term})" for term in self.terms)
+
+
+@dataclass(frozen=True)
+class PositionalPredicate:
+    """Engine-internal: accept only rows *after* a frozen scan position.
+
+    For an index-scan order this is the paper's
+    ``key > v OR (key = v AND rid > r)``; for RID order, ``rid > r``.
+    Tuple comparison on the order's positions implements both at once.
+    """
+
+    order: ScanOrder = field(compare=False)
+    after: Position
+
+    def test(self, rid: int, row: Row) -> bool:
+        return self.order.position_of(rid, row) > self.after
+
+    def __str__(self) -> str:
+        return f"position in {self.order.describe()} > {self.after}"

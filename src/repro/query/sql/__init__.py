@@ -1,0 +1,6 @@
+"""SQL front end for the supported SELECT-FROM-WHERE subset."""
+
+from repro.query.sql.lexer import Token, TokenKind, tokenize
+from repro.query.sql.parser import parse_sql
+
+__all__ = ["Token", "TokenKind", "parse_sql", "tokenize"]

@@ -1,0 +1,395 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (conjunctive select-project-join queries with blocking modifiers)::
+
+    query        := SELECT select_list FROM table_list [WHERE conjunction]
+                    [GROUP BY column_ref (',' column_ref)*]
+                    [ORDER BY order_item (',' order_item)*]
+                    [LIMIT NUMBER]
+    select_list  := '*' | select_item (',' select_item)*
+    select_item  := column_ref | agg_call
+    agg_call     := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | column_ref) ')'
+    order_item   := column_ref [ASC | DESC]
+    table_list   := table_ref (',' table_ref)*
+    table_ref    := IDENT [AS] [IDENT]
+    conjunction  := condition (AND condition)*
+    condition    := '(' disjunction ')' | simple_condition
+    disjunction  := simple_condition (OR simple_condition)+   -- same table only
+    simple_cond  := column_ref op literal
+                  | column_ref op column_ref                  -- equi-join ('=')
+                  | column_ref BETWEEN literal AND literal
+                  | column_ref [NOT] IN '(' literal (',' literal)* ')'
+                  | column_ref IS [NOT] NULL
+    column_ref   := IDENT '.' IDENT | IDENT
+
+Unqualified column names are resolved only for single-table queries; with
+multiple tables every column must be alias-qualified (the engine has no
+catalog at parse time to disambiguate).
+
+A parenthesised group may also contain a conjunction (plain AND terms) —
+it is then flattened into the top-level conjunction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+from repro.query.joingraph import JoinPredicate
+from repro.query.predicates import (
+    Between,
+    Comparison,
+    Disjunction,
+    InList,
+    IsNull,
+    LocalPredicate,
+    Op,
+)
+from repro.query.query import OutputColumn, QuerySpec
+from repro.query.sql.lexer import Token, TokenKind, tokenize
+
+_OPS = {op.value: op for op in Op}
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.tables: dict[str, str] = {}  # alias -> table
+        self.locals: dict[str, list[LocalPredicate]] = {}
+        self.joins: list[JoinPredicate] = []
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind is not kind or (text is not None and token.text != text):
+            want = text or kind.value
+            raise SqlSyntaxError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> QuerySpec:
+        self.expect(TokenKind.KEYWORD, "SELECT")
+        raw_items = self._select_list()
+        self.expect(TokenKind.KEYWORD, "FROM")
+        self._table_list()
+        if self.accept_keyword("WHERE"):
+            self._conjunction()
+        group_by = self._group_by_clause()
+        order_by = self._order_by_clause()
+        limit = self._limit_clause()
+        self.expect(TokenKind.EOF)
+        return self._build_spec(raw_items, group_by, order_by, limit)
+
+    def _build_spec(self, raw_items, group_by_raw, order_by_raw, limit) -> QuerySpec:
+        from repro.query.aggregates import AggFunc, Aggregate, OrderItem
+
+        select_items: list = []
+        has_aggregates = False
+        for raw in raw_items:
+            if raw[0] == "agg":
+                _, func_name, argument, position = raw
+                has_aggregates = True
+                func = AggFunc[func_name]
+                if argument is None:
+                    select_items.append(Aggregate(AggFunc.COUNT_STAR))
+                else:
+                    column = OutputColumn(*self._resolve(*argument))
+                    select_items.append(Aggregate(func, column))
+            else:
+                _, alias, column, position = raw
+                select_items.append(
+                    OutputColumn(*self._resolve(alias, column, position))
+                )
+        group_by = tuple(
+            OutputColumn(*self._resolve(*raw)) for raw in group_by_raw
+        )
+        order_by = tuple(
+            OrderItem(OutputColumn(*self._resolve(*raw)), descending)
+            for raw, descending in order_by_raw
+        )
+        base = dict(
+            tables=self.tables,
+            local_predicates={k: tuple(v) for k, v in self.locals.items()},
+            join_predicates=tuple(self.joins),
+        )
+        needs_item_path = has_aggregates or (
+            select_items and (order_by or limit is not None or group_by)
+        )
+        if needs_item_path or group_by:
+            return QuerySpec(
+                **base,
+                select_items=tuple(select_items),
+                group_by=group_by,
+                order_by=order_by,
+                limit=limit,
+            )
+        if order_by or limit is not None:
+            # SELECT * with modifiers: the star expansion carries every
+            # column, so ordering resolves against it at execution time.
+            return QuerySpec(**base, order_by=order_by, limit=limit)
+        return QuerySpec(**base, projection=tuple(select_items))
+
+    _AGG_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+    def _select_list(self) -> list[tuple]:
+        if self.peek().kind is TokenKind.STAR:
+            self.advance()
+            return []
+        items = [self._select_item()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> tuple:
+        token = self.peek()
+        if (
+            token.kind is TokenKind.IDENT
+            and token.text.upper() in self._AGG_NAMES
+            and self.tokens[self.pos + 1].kind is TokenKind.LPAREN
+        ):
+            func_token = self.advance()
+            func_name = func_token.text.upper()
+            self.expect(TokenKind.LPAREN)
+            if self.peek().kind is TokenKind.STAR:
+                self.advance()
+                if func_name != "COUNT":
+                    raise SqlSyntaxError(
+                        f"{func_name}(*) is not supported", func_token.position
+                    )
+                argument = None
+            else:
+                argument = self._column_ref()
+            self.expect(TokenKind.RPAREN)
+            return ("agg", func_name, argument, func_token.position)
+        alias, column, position = self._column_ref()
+        return ("col", alias, column, position)
+
+    def _group_by_clause(self) -> list[tuple]:
+        if not self.accept_keyword("GROUP"):
+            return []
+        self.expect(TokenKind.KEYWORD, "BY")
+        columns = [self._column_ref()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            columns.append(self._column_ref())
+        return columns
+
+    def _order_by_clause(self) -> list[tuple]:
+        if not self.accept_keyword("ORDER"):
+            return []
+        self.expect(TokenKind.KEYWORD, "BY")
+        items = [self._order_item()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> tuple:
+        column = self._column_ref()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return (column, descending)
+
+    def _limit_clause(self) -> int | None:
+        if not self.accept_keyword("LIMIT"):
+            return None
+        token = self.expect(TokenKind.NUMBER)
+        if not isinstance(token.value, int) or token.value < 0:
+            raise SqlSyntaxError(
+                "LIMIT requires a non-negative integer", token.position
+            )
+        return token.value
+
+    def _table_list(self) -> None:
+        self._table_ref()
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            self._table_ref()
+
+    def _table_ref(self) -> None:
+        name_token = self.expect(TokenKind.IDENT)
+        alias = name_token.text
+        self.accept_keyword("AS")
+        if self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+        if alias in self.tables:
+            raise SqlSyntaxError(
+                f"duplicate table alias {alias!r}", name_token.position
+            )
+        self.tables[alias] = name_token.text
+        self.locals[alias] = []
+
+    def _column_ref(self) -> tuple[str | None, str, int]:
+        """Returns (alias_or_None, column, position)."""
+        first = self.expect(TokenKind.IDENT)
+        if self.peek().kind is TokenKind.DOT:
+            self.advance()
+            second = self.expect(TokenKind.IDENT)
+            return first.text, second.text, first.position
+        return None, first.text, first.position
+
+    def _resolve(
+        self, alias: str | None, column: str, position: int
+    ) -> tuple[str, str]:
+        if alias is None:
+            if len(self.tables) != 1:
+                raise SqlSyntaxError(
+                    f"column {column!r} must be alias-qualified in a "
+                    "multi-table query",
+                    position,
+                )
+            alias = next(iter(self.tables))
+        if alias not in self.tables:
+            raise SqlSyntaxError(f"unknown table alias {alias!r}", position)
+        return alias, column
+
+    def _conjunction(self) -> None:
+        self._condition()
+        while self.accept_keyword("AND"):
+            self._condition()
+
+    def _condition(self) -> None:
+        if self.peek().kind is TokenKind.LPAREN:
+            open_token = self.advance()
+            first, connective = self._grouped_first()
+            if connective == "OR":
+                self._finish_disjunction(first, open_token)
+            else:
+                # A parenthesised conjunction (or single term): flatten.
+                self._add_condition(first)
+                while self.accept_keyword("AND"):
+                    self._condition()
+                self.expect(TokenKind.RPAREN)
+            return
+        self._add_condition(self._simple_condition())
+
+    def _grouped_first(self) -> tuple[Any, str | None]:
+        """Parse the first term inside parentheses and peek the connective."""
+        first = self._simple_condition()
+        if self.peek().is_keyword("OR"):
+            return first, "OR"
+        return first, "AND" if self.peek().is_keyword("AND") else None
+
+    def _finish_disjunction(self, first: Any, open_token: Token) -> None:
+        alias, terms = first
+        if alias is None:
+            raise SqlSyntaxError(
+                "join predicates cannot appear inside OR groups",
+                open_token.position,
+            )
+        disjuncts: list[LocalPredicate] = [terms]
+        while self.accept_keyword("OR"):
+            term_alias, term = self._simple_condition()
+            if term_alias is None:
+                raise SqlSyntaxError(
+                    "join predicates cannot appear inside OR groups",
+                    open_token.position,
+                )
+            if term_alias != alias:
+                raise SqlSyntaxError(
+                    "OR groups must reference a single table "
+                    f"(found {alias!r} and {term_alias!r})",
+                    open_token.position,
+                )
+            disjuncts.append(term)
+        self.expect(TokenKind.RPAREN)
+        self.locals[alias].append(Disjunction(disjuncts))
+
+    def _add_condition(self, parsed: tuple[str | None, Any]) -> None:
+        alias, payload = parsed
+        if alias is None:
+            self.joins.append(payload)
+        else:
+            self.locals[alias].append(payload)
+
+    def _simple_condition(self) -> tuple[str | None, Any]:
+        """Returns (alias, LocalPredicate) or (None, JoinPredicate)."""
+        left_alias, left_column, position = self._column_ref()
+        token = self.peek()
+        if token.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect(TokenKind.KEYWORD, "NULL")
+            alias, column = self._resolve(left_alias, left_column, position)
+            return alias, IsNull(column, negated=negated)
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self._literal()
+            self.expect(TokenKind.KEYWORD, "AND")
+            high = self._literal()
+            alias, column = self._resolve(left_alias, left_column, position)
+            return alias, Between(column, low, high)
+        if token.is_keyword("IN") or token.is_keyword("NOT"):
+            if self.accept_keyword("NOT"):
+                raise SqlSyntaxError("NOT IN is not supported", token.position)
+            self.advance()  # IN
+            self.expect(TokenKind.LPAREN)
+            values = [self._literal()]
+            while self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                values.append(self._literal())
+            self.expect(TokenKind.RPAREN)
+            alias, column = self._resolve(left_alias, left_column, position)
+            return alias, InList(column, values)
+        if token.kind is TokenKind.OPERATOR:
+            op_token = self.advance()
+            op = _OPS[op_token.text]
+            right = self.peek()
+            if right.kind is TokenKind.IDENT:
+                right_alias, right_column, right_pos = self._column_ref()
+                if op is not Op.EQ:
+                    raise SqlSyntaxError(
+                        "only equality join predicates are supported",
+                        op_token.position,
+                    )
+                la, lc = self._resolve(left_alias, left_column, position)
+                ra, rc = self._resolve(right_alias, right_column, right_pos)
+                if la == ra:
+                    raise SqlSyntaxError(
+                        "column-to-column predicates within one table are "
+                        "not supported",
+                        op_token.position,
+                    )
+                return None, JoinPredicate(la, lc, ra, rc)
+            value = self._literal()
+            alias, column = self._resolve(left_alias, left_column, position)
+            return alias, Comparison(column, op, value)
+        raise SqlSyntaxError(
+            f"expected a comparison, found {token.text!r}", token.position
+        )
+
+    def _literal(self) -> Any:
+        token = self.peek()
+        if token.kind in (TokenKind.STRING, TokenKind.NUMBER):
+            return self.advance().value
+        raise SqlSyntaxError(
+            f"expected a literal, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse_sql(sql: str) -> QuerySpec:
+    """Parse a SELECT-FROM-WHERE statement into a :class:`QuerySpec`."""
+    return _Parser(sql).parse()

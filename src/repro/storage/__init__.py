@@ -1,0 +1,27 @@
+"""Storage substrate: heap tables, ordered indexes, resumable cursors."""
+
+from repro.storage.counters import WorkMeter
+from repro.storage.cursor import (
+    IndexScanCursor,
+    KeyRange,
+    ScanOrder,
+    TableScanCursor,
+)
+from repro.storage.index import SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable, Row
+from repro.storage.types import ColumnType
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "HeapTable",
+    "IndexScanCursor",
+    "KeyRange",
+    "Row",
+    "ScanOrder",
+    "SortedIndex",
+    "TableSchema",
+    "TableScanCursor",
+    "WorkMeter",
+]

@@ -1,0 +1,208 @@
+"""Resumable scan cursors and the scan orders they expose.
+
+The driving leg of a pipeline is read through a cursor. The paper's
+duplicate-prevention scheme (Sec 4.2) relies on two properties that these
+cursors guarantee:
+
+* every cursor reads its table in a *stable total order* — RID order for
+  table scans, (key, RID) order for index scans — and exposes its current
+  position in that order;
+* a cursor can be *frozen* (simply stop pulling from it) and later resumed,
+  or a fresh cursor can be started strictly after a frozen position.
+
+:class:`ScanOrder` reifies the total order itself so that positional
+predicates can be evaluated against arbitrary rows of the same table fetched
+through *other* access paths (e.g. the old driving table probed through a
+join-column index once it becomes an inner leg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.storage.index import SortedIndex
+from repro.storage.table import HeapTable, Row
+
+Position = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A contiguous key range ``low..high`` on an indexed column.
+
+    ``None`` bounds are unbounded. An equality predicate is the range
+    ``[v, v]``. IN-lists become several disjoint single-value ranges.
+    """
+
+    low: Any = None
+    high: Any = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    @classmethod
+    def equal(cls, value: Any) -> "KeyRange":
+        return cls(low=value, high=value)
+
+    def is_equality(self) -> bool:
+        return (
+            self.low is not None
+            and self.low == self.high
+            and self.low_inclusive
+            and self.high_inclusive
+        )
+
+    def sort_key(self) -> tuple[int, Any]:
+        # Unbounded-low ranges come first; bounded ranges sort by low bound.
+        if self.low is None:
+            return (0, 0)
+        return (1, self.low)
+
+
+def normalize_ranges(ranges: list[KeyRange]) -> list[KeyRange]:
+    """Sort ranges by low bound; callers must supply disjoint ranges.
+
+    The cursor walks ranges in this order, which keeps the global (key, rid)
+    position monotonically increasing — the property positional predicates
+    depend on.
+    """
+    return sorted(ranges, key=lambda r: r.sort_key())
+
+
+class ScanOrder:
+    """The total order in which a driving scan visits its table."""
+
+    def __init__(self, table: HeapTable, index: SortedIndex | None = None) -> None:
+        self.table = table
+        self.index = index
+        self._key_pos = (
+            table.schema.position_of(index.column) if index is not None else None
+        )
+
+    @property
+    def is_index_order(self) -> bool:
+        return self.index is not None
+
+    def position_of(self, rid: int, row: Row) -> Position:
+        """The position of (rid, row) in this scan order."""
+        if self._key_pos is None:
+            return (rid,)
+        return (row[self._key_pos], rid)
+
+    def describe(self) -> str:
+        if self.index is None:
+            return f"RID order of {self.table.name}"
+        return f"({self.index.column}, RID) order of {self.table.name}"
+
+
+class TableScanCursor:
+    """Full-table scan in RID order, resumable after any RID."""
+
+    def __init__(self, table: HeapTable, start_after: Position | None = None) -> None:
+        self.table = table
+        self.order = ScanOrder(table)
+        self._next_rid = 0 if start_after is None else start_after[0] + 1
+        self.last_position: Position | None = start_after
+        self.exhausted = False
+
+    def __iter__(self) -> Iterator[tuple[int, Row]]:
+        return self
+
+    def __next__(self) -> tuple[int, Row]:
+        if self._next_rid >= len(self.table):
+            self.exhausted = True
+            raise StopIteration
+        rid = self._next_rid
+        self._next_rid += 1
+        row = self.table.fetch(rid)
+        self.last_position = (rid,)
+        return rid, row
+
+
+class IndexScanCursor:
+    """Index-range scan in (key, RID) order over one or more key ranges.
+
+    Ranges are walked in sorted order, so ``last_position`` is monotonically
+    non-decreasing across the whole scan even for IN-list predicates.
+    """
+
+    def __init__(
+        self,
+        index: SortedIndex,
+        ranges: list[KeyRange] | None = None,
+        start_after: Position | None = None,
+    ) -> None:
+        self.index = index
+        self.order = ScanOrder(index.table, index)
+        self.ranges = normalize_ranges(ranges) if ranges else [KeyRange()]
+        self._start_after = start_after
+        self.last_position: Position | None = start_after
+        self.exhausted = False
+        self._iterator = self._entries()
+        self._pending: tuple[Any, int] | None = None
+
+    def _entries(self) -> Iterator[tuple[Any, int]]:
+        start = self._start_after
+        for key_range in self.ranges:
+            entry_start = None
+            if start is not None:
+                # Skip ranges that end at or before the frozen position.
+                if key_range.high is not None and (
+                    key_range.high < start[0]
+                    or (key_range.high == start[0] and not key_range.high_inclusive)
+                ):
+                    continue
+                entry_start = (start[0], start[1])
+            yield from self.index.scan_range(
+                low=key_range.low,
+                high=key_range.high,
+                low_inclusive=key_range.low_inclusive,
+                high_inclusive=key_range.high_inclusive,
+                start_after=entry_start,
+            )
+
+    def __iter__(self) -> Iterator[tuple[int, Row]]:
+        return self
+
+    def __next__(self) -> tuple[int, Row]:
+        if self._pending is not None:
+            key, rid = self._pending
+            self._pending = None
+        else:
+            try:
+                key, rid = next(self._iterator)
+            except StopIteration:
+                self.exhausted = True
+                raise
+        row = self.index.table.fetch(rid)
+        self.last_position = (key, rid)
+        return rid, row
+
+    def scans_multiple_keys(self) -> bool:
+        """True unless the scan covers a single key value.
+
+        For a single-value scan (one equality range) the key order is
+        degenerate — Sec 4.2: "If there is only one value to scan (e.g.,
+        for equality predicates), we can ignore this order" — so waiting
+        for a key boundary would mean waiting for the end of the scan.
+        """
+        if len(self.ranges) != 1:
+            return True
+        return not self.ranges[0].is_equality()
+
+    def at_key_boundary(self) -> bool:
+        """True when the next entry (if any) has a different key.
+
+        Used by the "postpone switch until the current key group drains"
+        variant of driving-leg switching (Sec 4.2), which then needs only a
+        simple ``key > v`` positional predicate.
+        """
+        if self.last_position is None:
+            return True
+        if self._pending is None:
+            try:
+                self._pending = next(self._iterator)
+            except StopIteration:
+                self.exhausted = True
+                return True
+        return self._pending[0] != self.last_position[0]

@@ -1,0 +1,193 @@
+"""Ordered secondary indexes.
+
+A :class:`SortedIndex` maintains (key, rid) entries sorted by key, then RID —
+the same order a B-tree on a single column exposes. The executor uses it for
+
+* equality probes during indexed nested-loop joins,
+* range scans that drive a pipeline (the "index scan" access path), and
+* the driving-leg positional order (key, rid) the paper exploits for
+  duplicate prevention when switching driving tables (Sec 4.2).
+
+``None`` keys are not indexed, matching SQL semantics where ``NULL`` never
+satisfies an equality or range predicate.
+
+Work accounting: each probe charges one ``INDEX_DESCEND`` plus one
+``INDEX_ENTRY`` per entry touched, so plans that probe fewer entries are
+deterministically cheaper.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import StorageError
+from repro.storage.counters import WorkMeter
+from repro.storage.table import HeapTable
+
+# Sentinels that compare below/above every RID (RIDs are non-negative ints).
+_RID_LOW = -1
+_RID_HIGH = float("inf")
+
+Entry = tuple[Any, Any]  # (key, rid)
+
+
+class SortedIndex:
+    """A single-column ordered index over a :class:`HeapTable`."""
+
+    def __init__(self, name: str, table: HeapTable, column: str) -> None:
+        self.name = name
+        self.table = table
+        self.column = column
+        self._column_pos = table.schema.position_of(column)
+        self._entries: list[Entry] = []
+        self._built_upto = 0  # number of heap rows reflected in the index
+        self.rebuild()
+
+    @property
+    def meter(self) -> WorkMeter:
+        return self.table.meter
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def rebuild(self) -> None:
+        """(Re)build the index from the current heap contents."""
+        entries = []
+        for rid, row in enumerate(self.table.raw_rows()):
+            key = row[self._column_pos]
+            if key is not None:
+                entries.append((key, rid))
+        entries.sort()
+        self._entries = entries
+        self._built_upto = len(self.table)
+
+    def refresh(self) -> None:
+        """Fold rows appended since the last build into the index."""
+        heap_size = len(self.table)
+        if self._built_upto == heap_size:
+            return
+        rows = self.table.raw_rows()
+        for rid in range(self._built_upto, heap_size):
+            key = rows[rid][self._column_pos]
+            if key is not None:
+                bisect.insort(self._entries, (key, rid))
+        self._built_upto = heap_size
+
+    def _check_fresh(self) -> None:
+        if self._built_upto != len(self.table):
+            raise StorageError(
+                f"index {self.name!r} is stale: call refresh() after inserts"
+            )
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def lookup_rids(self, key: Any) -> list[int]:
+        """Return RIDs whose indexed column equals *key*, charging work."""
+        self._check_fresh()
+        self.meter.charge_index_descend()
+        if key is None:
+            return []
+        lo = bisect.bisect_left(self._entries, (key, _RID_LOW))
+        hi = bisect.bisect_right(self._entries, (key, _RID_HIGH))
+        self.meter.charge_index_entries(max(hi - lo, 1))
+        return [rid for _, rid in self._entries[lo:hi]]
+
+    def scan_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        start_after: Entry | None = None,
+    ) -> Iterator[Entry]:
+        """Yield (key, rid) entries with ``low <= key <= high`` in order.
+
+        *start_after*, when given, skips every entry at or before that
+        (key, rid) position — this is how a resumed driving-leg scan and the
+        positional predicates avoid re-reading processed rows.
+
+        Bounds of ``None`` mean unbounded on that side.
+        """
+        self._check_fresh()
+        self.meter.charge_index_descend()
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
+        else:
+            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
+        if start_after is not None:
+            lo = max(lo, bisect.bisect_right(self._entries, start_after))
+        if high is None:
+            hi = len(self._entries)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
+        else:
+            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
+        for position in range(lo, hi):
+            self.meter.charge_index_entries(1)
+            yield self._entries[position]
+
+    def count_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> int:
+        """Entry count in a key range, without charging work (statistics)."""
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
+        else:
+            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
+        if high is None:
+            hi = len(self._entries)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
+        else:
+            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
+        return max(hi - lo, 0)
+
+    def count_range_after(
+        self,
+        after: Entry | None,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> int:
+        """Entries in a key range strictly after position *after* (uncharged).
+
+        This is the index-metadata read the adaptation controller uses to
+        estimate the *remaining* work of a partially consumed driving scan —
+        the equivalent of a B-tree's key-range cardinality estimate.
+        """
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
+        else:
+            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
+        if after is not None:
+            lo = max(lo, bisect.bisect_right(self._entries, after))
+        if high is None:
+            hi = len(self._entries)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
+        else:
+            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
+        return max(hi - lo, 0)
+
+    def distinct_key_count(self) -> int:
+        """Number of distinct keys (statistics; uncharged)."""
+        count = 0
+        previous = object()
+        for key, _ in self._entries:
+            if key != previous:
+                count += 1
+                previous = key
+        return count

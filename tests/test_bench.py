@@ -1,0 +1,119 @@
+"""Tests for the benchmark harness (runner, experiments, reporting)."""
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.bench.experiments import (
+    PAPER_TABLE1,
+    ablation_experiment,
+    overhead_experiment,
+    scatter_experiment,
+    table1_experiment,
+    template_ratio_experiment,
+    window_sweep_experiment,
+)
+from repro.bench.reporting import format_scatter_summary, format_table, to_csv
+from repro.bench.runner import run_workload, standard_configs
+from repro.dmv import four_table_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return four_table_workload(queries_per_template=2, seed=5)
+
+
+class TestRunner:
+    def test_standard_configs_modes(self):
+        configs = standard_configs()
+        assert set(configs) == {"static", "inner-only", "driving-only", "both"}
+        assert configs["static"].mode is ReorderMode.NONE
+
+    def test_run_workload_measures_all_modes(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        configs = {
+            "static": AdaptiveConfig(mode=ReorderMode.NONE),
+            "both": AdaptiveConfig(mode=ReorderMode.BOTH),
+        }
+        result = run_workload(db, tiny_workload, configs)
+        assert result.modes() == ["static", "both"]
+        assert len(result.by_mode("static")) == len(tiny_workload)
+        for measurement in result.measurements:
+            assert measurement.work > 0
+
+    def test_verification_runs_reference_first(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        configs = {
+            "both": AdaptiveConfig(mode=ReorderMode.BOTH),
+            "static": AdaptiveConfig(mode=ReorderMode.NONE),
+        }
+        # static is listed second but must still act as the reference.
+        result = run_workload(db, tiny_workload, configs, verify_against="static")
+        assert len(result.measurements) == 2 * len(tiny_workload)
+
+
+class TestExperiments:
+    def test_table1(self, mini_dmv):
+        _, summary = mini_dmv
+        result = table1_experiment(summary, 0.02)
+        report = result.report()
+        for name in PAPER_TABLE1:
+            assert name in report
+
+    def test_scatter(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        result = scatter_experiment(db, tiny_workload)
+        assert len(result.pairs) == len(tiny_workload)
+        assert result.max_speedup > 0
+        assert "total improvement" in result.report("t")
+
+    def test_template_ratio(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        result = template_ratio_experiment(db, tiny_workload, ReorderMode.INNER_ONLY)
+        assert set(result.ratios) == {1, 2, 3, 4, 5}
+        assert "Template 1" in result.report("t")
+
+    def test_overhead(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        result = overhead_experiment(db, tiny_workload)
+        assert result.inner_overhead >= 0.0
+        assert "paper: 0.68%" in result.report()
+
+    def test_window_sweep(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        result = window_sweep_experiment(db, tiny_workload, windows=(10, 500))
+        assert set(result.series) == {10, 500}
+        assert "history window" in result.report()
+
+    def test_ablation(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        variants = {
+            "static": AdaptiveConfig(mode=ReorderMode.NONE),
+            "both": AdaptiveConfig(mode=ReorderMode.BOTH),
+        }
+        result = ablation_experiment(db, tiny_workload, variants, "static")
+        assert set(result.series) == {"static", "both"}
+        assert "vs static" in result.report("t")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 20.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "20.25" in lines[-1]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_scatter_summary_empty(self):
+        assert format_scatter_summary([]) == "(no data)"
+
+    def test_scatter_summary_stats(self):
+        pairs = [("q1", 100.0, 50.0), ("q2", 10.0, 10.0)]
+        text = format_scatter_summary(pairs)
+        assert "max speedup: 2.00x (q1)" in text
+
+    def test_to_csv(self):
+        text = to_csv(["a", "b"], [[1, "x"]])
+        assert text.splitlines() == ["a,b", "1,x"]

@@ -1,0 +1,101 @@
+"""Unit tests for repro.catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import StatisticsLevel
+from repro.errors import CatalogError
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table(
+        "t", [Column("id", ColumnType.INT), Column("v", ColumnType.STRING)]
+    )
+    return catalog
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = make_catalog()
+        assert catalog.table("t").name == "t"
+        assert catalog.table_names() == ("t",)
+
+    def test_duplicate_table(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_table("t", [Column("x", ColumnType.INT)])
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            make_catalog().table("missing")
+
+    def test_shared_meter(self):
+        catalog = make_catalog()
+        catalog.create_table("u", [Column("x", ColumnType.INT)])
+        assert catalog.table("t").meter is catalog.table("u").meter
+
+
+class TestIndexes:
+    def test_create_index(self):
+        catalog = make_catalog()
+        index = catalog.create_index("t", "id")
+        assert catalog.index_on("t", "id") is index
+        assert "id" in catalog.indexes_of("t")
+
+    def test_create_index_idempotent(self):
+        catalog = make_catalog()
+        first = catalog.create_index("t", "id")
+        assert catalog.create_index("t", "id") is first
+
+    def test_index_on_missing_column_table(self):
+        with pytest.raises(CatalogError):
+            make_catalog().index_on("missing", "id")
+
+    def test_index_on_returns_none_without_index(self):
+        assert make_catalog().index_on("t", "id") is None
+
+
+class TestDataAndStats:
+    def test_insert_refreshes_indexes(self):
+        catalog = make_catalog()
+        catalog.create_index("t", "id")
+        catalog.insert_many("t", [(2, "b"), (1, "a")])
+        assert catalog.index_on("t", "id").lookup_rids(1) == [1]
+
+    def test_stats_none_before_analyze(self):
+        catalog = make_catalog()
+        assert catalog.stats("t") is None
+
+    def test_analyze_basic(self):
+        catalog = make_catalog()
+        catalog.insert_many("t", [(1, "a"), (2, "a")])
+        catalog.analyze()
+        stats = catalog.stats("t")
+        assert stats.cardinality == 2
+        assert stats.column("v").ndv == 1
+
+    def test_analyze_cardinality_level(self):
+        catalog = make_catalog()
+        catalog.insert_many("t", [(1, "a")])
+        catalog.analyze(level=StatisticsLevel.CARDINALITY)
+        stats = catalog.stats("t")
+        assert stats.cardinality == 1
+        assert stats.column("v") is None
+
+    def test_analyze_detailed_level(self):
+        catalog = make_catalog()
+        catalog.insert_many("t", [(1, "a"), (2, "a"), (3, "b")])
+        catalog.analyze(level=StatisticsLevel.DETAILED)
+        stats = catalog.stats("t")
+        assert stats.column("v").frequent_values == {"a": 2, "b": 1}
+
+    def test_analyze_single_table(self):
+        catalog = make_catalog()
+        catalog.create_table("u", [Column("x", ColumnType.INT)])
+        catalog.insert_many("t", [(1, "a")])
+        catalog.analyze("t")
+        assert catalog.stats("t") is not None
+        assert catalog.stats("u") is None

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.scale == 0.05
+        assert not args.extended
+
+    def test_query_mode_choices(self):
+        args = build_parser().parse_args(["query", "SELECT 1", "--mode", "none"])
+        assert args.mode == "none"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "SELECT 1", "--mode", "bogus"])
+
+    def test_experiment_names(self):
+        for name in ("table1", "fig7", "fig8", "fig9", "fig10", "fig11", "overhead"):
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_generate(self, capsys):
+        assert main(["generate", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Owner" in out
+
+    def test_query_static_and_adaptive(self, capsys):
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "SELECT o.name FROM Owner o WHERE o.country3 = 'DE' LIMIT 3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static:" in out
+        assert "adaptive:" in out
+        assert "results match" in out
+
+    def test_query_explain(self, capsys):
+        main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--explain",
+                "--mode",
+                "none",
+                "SELECT o.name FROM Owner o WHERE o.country3 = 'DE'",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "PipelinePlan" in out
+        assert "adaptive:" not in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.005"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_fig7_small(self, capsys):
+        assert (
+            main(["experiment", "fig7", "--scale", "0.01", "--queries", "2"]) == 0
+        )
+        assert "total improvement" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Unit tests for the Eq (1) cost model, ranks, and order search."""
+
+import pytest
+
+from repro.optimizer.cost import (
+    best_order_exhaustive,
+    cost_of_order,
+    greedy_rank_order,
+    greedy_rank_suffix,
+    rank,
+)
+from repro.query.joingraph import JoinGraph, JoinPredicate
+
+
+class DictProvider:
+    """Test double: fixed (JC, PC) per alias; driving (CLEG, scan PC)."""
+
+    def __init__(self, driving, inner):
+        self.driving = driving
+        self.inner = inner
+
+    def driving_params(self, alias):
+        return self.driving[alias]
+
+    def inner_params(self, alias, bound):
+        return self.inner[alias]
+
+
+def star_graph():
+    return JoinGraph(
+        ["a", "b", "c"],
+        [JoinPredicate("a", "k", "b", "k"), JoinPredicate("a", "k", "c", "k")],
+    )
+
+
+class TestRank:
+    def test_formula(self):
+        assert rank(3.0, 2.0) == pytest.approx(1.0)
+
+    def test_negative_for_selective_joins(self):
+        assert rank(0.5, 1.0) < 0
+
+    def test_zero_pc_guarded(self):
+        assert rank(2.0, 0.0) > 0  # no division error
+
+
+class TestCostOfOrder:
+    def test_empty_order(self):
+        assert cost_of_order([], DictProvider({}, {})) == 0.0
+
+    def test_single_leg_is_scan_cost(self):
+        provider = DictProvider({"a": (10.0, 7.0)}, {})
+        assert cost_of_order(["a"], provider) == 7.0
+
+    def test_eq1_accumulates_flow(self):
+        provider = DictProvider(
+            {"a": (10.0, 5.0)},
+            {"b": (2.0, 3.0), "c": (1.0, 4.0)},
+        )
+        # 5 + 10*3 + (10*2)*4 = 115
+        assert cost_of_order(["a", "b", "c"], provider) == pytest.approx(115.0)
+
+    def test_paper_figure1_numbers(self):
+        """Fig 1 / Sec 3.2: plan (a) costs 251p, plan (b) costs 176p."""
+
+        class Fig1Provider:
+            def driving_params(self, alias):
+                return {"T1": 50.0, "T2": 50.0}[alias], 1.0
+
+            def inner_params(self, alias, bound):
+                jc = {
+                    ("T2", frozenset({"T1"})): 2.0,
+                    ("T3", frozenset({"T1", "T2"})): 1.0,
+                    ("T4", frozenset({"T1", "T2", "T3"})): 1.5,
+                    ("T1", frozenset({"T2"})): 1.0,
+                    ("T4", frozenset({"T1", "T2"})): 1.5,
+                    ("T3", frozenset({"T1", "T2", "T4"})): 2.0,
+                }[(alias, bound)]
+                return jc, 1.0
+
+        provider = Fig1Provider()
+        assert cost_of_order(("T1", "T2", "T3", "T4"), provider) == 251.0
+        assert cost_of_order(("T2", "T1", "T4", "T3"), provider) == 176.0
+
+
+class TestGreedyRank:
+    def test_orders_by_ascending_rank(self):
+        provider = DictProvider(
+            {"a": (10.0, 1.0)},
+            {"b": (2.0, 1.0), "c": (0.5, 1.0)},  # rank(b)=1, rank(c)=-0.5
+        )
+        order = greedy_rank_order("a", ["b", "c"], star_graph(), provider)
+        assert order == ("a", "c", "b")
+
+    def test_respects_connectivity(self):
+        # chain a-b-c: c cannot precede b even with a better rank.
+        graph = JoinGraph(
+            ["a", "b", "c"],
+            [JoinPredicate("a", "k", "b", "k"), JoinPredicate("b", "j", "c", "j")],
+        )
+        provider = DictProvider(
+            {"a": (10.0, 1.0)},
+            {"b": (5.0, 1.0), "c": (0.1, 1.0)},
+        )
+        order = greedy_rank_order("a", ["b", "c"], graph, provider)
+        assert order == ("a", "b", "c")
+
+    def test_suffix_keeps_prefix(self):
+        provider = DictProvider({}, {"b": (2.0, 1.0), "c": (0.5, 1.0)})
+        order = greedy_rank_suffix(("a", "b"), ["c"], star_graph(), provider)
+        assert order == ("a", "b", "c")
+
+
+class TestExhaustive:
+    def test_finds_optimum(self):
+        provider = DictProvider(
+            {"a": (100.0, 1.0), "b": (10.0, 1.0), "c": (1000.0, 1.0)},
+            {"a": (1.0, 1.0), "b": (1.0, 1.0), "c": (1.0, 1.0)},
+        )
+        order, cost = best_order_exhaustive(["a", "b", "c"], star_graph(), provider)
+        # b has the smallest leg cardinality... but b cannot drive a
+        # connected order (b only joins a). The best connected order is
+        # evaluated by cost; verify against brute force below.
+        candidates = {
+            o: cost_of_order(o, provider)
+            for o in star_graph().connected_orders()
+        }
+        assert cost == min(candidates.values())
+        assert candidates[order] == cost
+
+    def test_fixed_prefix(self):
+        provider = DictProvider(
+            {"a": (10.0, 1.0)},
+            {"b": (2.0, 1.0), "c": (0.5, 1.0)},
+        )
+        order, _ = best_order_exhaustive(
+            ["a", "b", "c"], star_graph(), provider, fixed_prefix=("a", "b")
+        )
+        assert order[:2] == ("a", "b")
+
+    def test_agrees_with_rank_order_under_asi(self):
+        """With position-independent params, rank order == optimum (ASI)."""
+        provider = DictProvider(
+            {"a": (20.0, 2.0)},
+            {"b": (1.5, 3.0), "c": (0.2, 8.0), "d": (0.9, 1.0)},
+        )
+        graph = JoinGraph(
+            ["a", "b", "c", "d"],
+            [
+                JoinPredicate("a", "k", "b", "k"),
+                JoinPredicate("a", "k", "c", "k"),
+                JoinPredicate("a", "k", "d", "k"),
+            ],
+        )
+        ranked = greedy_rank_order("a", ["b", "c", "d"], graph, provider)
+        best, best_cost = best_order_exhaustive(
+            ["a", "b", "c", "d"], graph, provider, fixed_prefix=("a",)
+        )
+        assert cost_of_order(ranked, provider) == pytest.approx(best_cost)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.storage.counters."""
+
+from repro.storage import counters
+from repro.storage.counters import WorkMeter
+
+
+class TestCharges:
+    def test_execution_units_weighting(self):
+        meter = WorkMeter()
+        meter.charge_index_descend()
+        meter.charge_index_entries(2)
+        meter.charge_row_fetch()
+        meter.charge_predicate_eval(4)
+        expected = (
+            counters.INDEX_DESCEND_COST
+            + 2 * counters.INDEX_ENTRY_COST
+            + counters.ROW_FETCH_COST
+            + 4 * counters.PREDICATE_EVAL_COST
+        )
+        assert meter.execution_units == expected
+        assert meter.adaptation_units == 0.0
+
+    def test_adaptation_units_separate(self):
+        meter = WorkMeter()
+        meter.charge_monitor_update(3)
+        meter.charge_reorder_check()
+        assert meter.execution_units == 0.0
+        assert meter.adaptation_units == (
+            3 * counters.MONITOR_UPDATE_COST + counters.REORDER_CHECK_COST
+        )
+
+    def test_total_is_sum(self):
+        meter = WorkMeter()
+        meter.charge_row_fetch()
+        meter.charge_reorder_check()
+        assert meter.total_units == meter.execution_units + meter.adaptation_units
+
+    def test_rows_emitted(self):
+        meter = WorkMeter()
+        meter.charge_row_emitted(5)
+        assert meter.rows_emitted == 5
+
+
+class TestSnapshotAndDiff:
+    def test_snapshot_is_independent(self):
+        meter = WorkMeter()
+        meter.charge_row_fetch()
+        snap = meter.snapshot()
+        meter.charge_row_fetch()
+        assert snap.row_fetches == 1
+        assert meter.row_fetches == 2
+
+    def test_subtraction(self):
+        meter = WorkMeter()
+        meter.charge_row_fetch(3)
+        before = meter.snapshot()
+        meter.charge_row_fetch(2)
+        meter.charge_index_descend()
+        delta = meter - before
+        assert delta.row_fetches == 2
+        assert delta.index_descends == 1
+
+    def test_reset(self):
+        meter = WorkMeter()
+        meter.charge_row_fetch()
+        meter.charge_monitor_update()
+        meter.reset()
+        assert meter.total_units == 0.0
+        assert meter.rows_emitted == 0

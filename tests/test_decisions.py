@@ -1,0 +1,175 @@
+"""Unit tests for the inner-reorder and driving-switch decision logic."""
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.core.config import InnerReorderPolicy
+from repro.core.driving import decide_driving_switch, dynamic_driving_spec
+from repro.core.reorder import decide_inner_order, suffix_ranks
+from repro.executor.pipeline import PipelineExecutor
+from repro.optimizer.plans import DrivingKind
+
+from tests.conftest import build_three_table_db
+
+SQL = (
+    "SELECT o.name FROM Owner o, Car c, Demo d "
+    "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+    "AND c.make = 'Rare' AND o.country = 'DE' AND d.salary < 70000"
+)
+
+
+class FixedProvider:
+    """(JC, PC) fixed per alias; driving (CLEG, scan PC) fixed per alias."""
+
+    def __init__(self, driving, inner):
+        self.driving = driving
+        self.inner = inner
+
+    def driving_params(self, alias):
+        return self.driving[alias]
+
+    def inner_params(self, alias, bound):
+        return self.inner[alias]
+
+
+def started_pipeline(db, sql=SQL, mode=ReorderMode.BOTH, **kwargs):
+    plan = db.plan(sql)
+    config = AdaptiveConfig(mode=mode, **kwargs)
+    pipeline = PipelineExecutor(plan, db.catalog, config)
+    iterator = pipeline.rows()
+    next(iterator, None)
+    return pipeline, config
+
+
+class TestInnerDecision:
+    def test_ascending_ranks_keep_order(self, three_table_db):
+        pipeline, config = started_pipeline(three_table_db)
+        provider = FixedProvider(
+            {alias: (10.0, 1.0) for alias in pipeline.order},
+            {alias: (0.1 * (i + 1), 1.0) for i, alias in enumerate(pipeline.order)},
+        )
+        decision = decide_inner_order(
+            pipeline, provider, 1, InnerReorderPolicy.RANK_GREEDY
+        )
+        assert decision is None
+
+    def test_inverted_ranks_trigger_reorder(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        inner = {}
+        for i, alias in enumerate(pipeline.order):
+            jc = 5.0 if i == 1 else 0.1  # position 1 has a terrible rank
+            inner[alias] = (jc, 1.0)
+        provider = FixedProvider(
+            {alias: (10.0, 1.0) for alias in pipeline.order}, inner
+        )
+        decision = decide_inner_order(
+            pipeline, provider, 1, InnerReorderPolicy.RANK_GREEDY
+        )
+        assert decision is not None
+        assert decision[0] != pipeline.order[1]
+
+    def test_single_leg_suffix_never_reorders(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        provider = FixedProvider(
+            {alias: (10.0, 1.0) for alias in pipeline.order},
+            {alias: (1.0, 1.0) for alias in pipeline.order},
+        )
+        last = len(pipeline.order) - 1
+        assert decide_inner_order(
+            pipeline, provider, last, InnerReorderPolicy.RANK_GREEDY
+        ) is None
+
+    def test_exhaustive_requires_min_gain(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        provider = FixedProvider(
+            {alias: (10.0, 1.0) for alias in pipeline.order},
+            {alias: (1.0, 1.0) for alias in pipeline.order},  # all equal
+        )
+        assert decide_inner_order(
+            pipeline, provider, 1, InnerReorderPolicy.EXHAUSTIVE
+        ) is None
+
+    def test_suffix_ranks_positions(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        provider = FixedProvider(
+            {alias: (10.0, 1.0) for alias in pipeline.order},
+            {alias: (2.0, 4.0) for alias in pipeline.order},
+        )
+        ranks = suffix_ranks(pipeline.order, 1, provider)
+        assert len(ranks) == len(pipeline.order) - 1
+        assert all(r == pytest.approx(0.25) for r in ranks)
+
+
+class TestDrivingDecision:
+    def test_no_switch_when_current_is_best(self, three_table_db):
+        pipeline, config = started_pipeline(three_table_db)
+        driving = {alias: (1000.0, 1000.0) for alias in pipeline.order}
+        driving[pipeline.order[0]] = (1.0, 1.0)  # current driving is great
+        provider = FixedProvider(
+            driving, {alias: (1.0, 1.0) for alias in pipeline.order}
+        )
+        assert decide_driving_switch(pipeline, provider, config) is None
+
+    def test_switch_when_candidate_much_cheaper(self, three_table_db):
+        pipeline, config = started_pipeline(three_table_db)
+        driving = {alias: (1.0, 1.0) for alias in pipeline.order}
+        driving[pipeline.order[0]] = (10_000.0, 10_000.0)
+        provider = FixedProvider(
+            driving, {alias: (1.0, 1.0) for alias in pipeline.order}
+        )
+        decision = decide_driving_switch(pipeline, provider, config)
+        assert decision is not None
+        assert decision[0] != pipeline.order[0]
+
+    def test_threshold_suppresses_marginal_switch(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        config = AdaptiveConfig(
+            mode=ReorderMode.BOTH, switch_benefit_threshold=0.5
+        )
+        driving = {alias: (10.0, 100.0) for alias in pipeline.order}
+        driving[pipeline.order[0]] = (10.0, 130.0)  # only ~23% worse
+        provider = FixedProvider(
+            driving, {alias: (1.0, 1.0) for alias in pipeline.order}
+        )
+        assert decide_driving_switch(pipeline, provider, config) is None
+
+    def test_abandoned_leg_needs_bigger_margin(self, three_table_db):
+        pipeline, config = started_pipeline(three_table_db)
+        candidate = pipeline.order[1]
+        driving = {alias: (10.0, 500.0) for alias in pipeline.order}
+        driving[pipeline.order[0]] = (10.0, 130.0)
+        driving[candidate] = (10.0, 95.0)  # ~23% better: would switch...
+        provider = FixedProvider(
+            driving, {alias: (1.0, 1.0) for alias in pipeline.order}
+        )
+        assert decide_driving_switch(pipeline, provider, config) is not None
+        # ...but not once the candidate has been abandoned twice.
+        pipeline.abandon_counts[candidate] = 2
+        assert decide_driving_switch(pipeline, provider, config) is None
+
+
+class TestDynamicAccessPath:
+    def test_rechooses_measured_better_index(self, three_table_db):
+        plan = three_table_db.plan(
+            "SELECT o.name FROM Owner o, Car c, Demo d "
+            "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+            "AND o.country = 'DE' AND o.name = 'n1' AND c.make = 'Rare'"
+        )
+        pipeline = PipelineExecutor(
+            plan,
+            three_table_db.catalog,
+            AdaptiveConfig(mode=ReorderMode.MONITOR_ONLY),
+        )
+        # Owner has country (indexed) and name (not indexed) predicates.
+        list(pipeline.rows())
+        leg = pipeline.legs["o"]
+        spec = dynamic_driving_spec(leg)
+        # Only 'country' is indexed+sargable, so the spec (if any) uses it.
+        if spec is not None:
+            assert spec.index_column == "country"
+            assert spec.kind is DrivingKind.INDEX_SCAN
+
+    def test_no_measurements_no_change(self, three_table_db):
+        pipeline, _ = started_pipeline(three_table_db)
+        leg = pipeline.legs[pipeline.order[1]]
+        assert dynamic_driving_spec(leg) is None

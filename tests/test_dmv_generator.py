@@ -1,0 +1,148 @@
+"""Tests for the synthetic DMV data generator."""
+
+import pytest
+
+from repro.catalog.statistics import StatisticsLevel
+from repro.dmv.generator import (
+    MEAN_ACCIDENTS_PER_CAR,
+    SECOND_CAR_PROBABILITY,
+    DmvGenerator,
+    load_dmv,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        db1, s1 = load_dmv(scale=0.01, seed=3)
+        db2, s2 = load_dmv(scale=0.01, seed=3)
+        assert s1 == s2
+        assert db1.catalog.table("Car").raw_rows() == db2.catalog.table(
+            "Car"
+        ).raw_rows()
+
+    def test_different_seed_different_data(self):
+        _, s1 = load_dmv(scale=0.01, seed=3)
+        _, s2 = load_dmv(scale=0.01, seed=4)
+        assert s1 != s2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            DmvGenerator(scale=0)
+
+
+class TestCardinalities:
+    def test_table1_ratios(self, mini_dmv):
+        _, summary = mini_dmv
+        assert summary.cars / summary.owners == pytest.approx(
+            1 + SECOND_CAR_PROBABILITY, rel=0.05
+        )
+        assert summary.accidents / summary.cars == pytest.approx(
+            MEAN_ACCIDENTS_PER_CAR, rel=0.10
+        )
+        assert summary.demographics == summary.owners
+
+    def test_scale_controls_size(self):
+        _, small = load_dmv(scale=0.005)
+        _, large = load_dmv(scale=0.01)
+        assert large.owners == 2 * small.owners
+
+
+class TestSchemaAndIndexes:
+    def test_base_tables_exist(self, mini_dmv):
+        db, _ = mini_dmv
+        for name in ("Owner", "Car", "Demographics", "Accidents"):
+            assert db.catalog.table(name) is not None
+
+    def test_join_columns_indexed(self, mini_dmv):
+        db, _ = mini_dmv
+        assert db.catalog.index_on("Owner", "id") is not None
+        assert db.catalog.index_on("Car", "ownerid") is not None
+        assert db.catalog.index_on("Accidents", "carid") is not None
+
+    def test_country1_deliberately_unindexed(self, mini_dmv):
+        db, _ = mini_dmv
+        assert db.catalog.index_on("Owner", "country1") is None
+
+    def test_default_stats_are_cardinality_only(self, mini_dmv):
+        db, _ = mini_dmv
+        stats = db.catalog.stats("Owner")
+        assert stats is not None
+        assert stats.column("country1") is None
+
+    def test_detailed_stats_option(self):
+        db, _ = load_dmv(scale=0.005, stats=StatisticsLevel.DETAILED)
+        assert db.catalog.stats("Car").column("make").has_frequent_values
+
+    def test_extended_tables(self):
+        db, summary = load_dmv(scale=0.005, extended=True)
+        assert summary.locations > 0 and summary.times > 0
+        assert db.catalog.index_on("Location", "id") is not None
+        assert db.catalog.index_on("Accidents", "locationid") is not None
+
+
+class TestCorrelations:
+    """The four engineered data properties the experiments rely on."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        db, _ = load_dmv(scale=0.05)
+        catalog = db.catalog
+        owners = {r[0]: r for r in catalog.table("Owner").raw_rows()}
+        cars = catalog.table("Car").raw_rows()
+        demo = {r[0]: r for r in catalog.table("Demographics").raw_rows()}
+        return owners, cars, demo
+
+    def test_skewed_country_distribution(self, tables):
+        owners, _, _ = tables
+        from collections import Counter
+
+        counts = Counter(row[3] for row in owners.values())
+        us_share = counts["US"] / len(owners)
+        assert us_share > 0.25  # Example 3: "almost one third"
+        assert counts["US"] > 5 * counts.get("SE", 1)
+
+    def test_model_determines_make(self, tables):
+        _, cars, _ = tables
+        model_makes = {}
+        for car in cars:
+            model_makes.setdefault(car[3], set()).add(car[2])
+        assert all(len(makes) == 1 for makes in model_makes.values())
+
+    def test_city_determines_country(self, tables):
+        owners, _, _ = tables
+        city_countries = {}
+        for row in owners.values():
+            city_countries.setdefault(row[4], set()).add(row[3])
+        assert all(len(cs) == 1 for cs in city_countries.values())
+
+    def test_luxury_owners_are_richer(self, tables):
+        owners, cars, demo = tables
+        lux = [demo[c[1]][1] for c in cars if c[2] == "Mercedes"]
+        std = [demo[c[1]][1] for c in cars if c[2] == "Chevrolet"]
+        assert sum(lux) / len(lux) > 1.3 * sum(std) / len(std)
+
+    def test_example1_flip_property(self, tables):
+        owners, cars, demo = tables
+        chev = [c for c in cars if c[2] == "Chevrolet"]
+        merc = [c for c in cars if c[2] == "Mercedes"]
+        p_de_chev = sum(1 for c in chev if owners[c[1]][3] == "DE") / len(chev)
+        p_de_merc = sum(1 for c in merc if owners[c[1]][3] == "DE") / len(merc)
+        p_low_chev = sum(1 for c in chev if demo[c[1]][1] < 50_000) / len(chev)
+        p_low_merc = sum(1 for c in merc if demo[c[1]][1] < 50_000) / len(merc)
+        # Germany filters Chevrolets harder; salary filters Mercedes harder.
+        assert p_de_chev < p_de_merc
+        assert p_low_chev > 2 * p_low_merc
+
+    def test_accidents_skewed_toward_old_standard_cars(self, tables):
+        owners, cars, _ = tables
+        del owners
+        db, _ = load_dmv(scale=0.05)
+        accidents = db.catalog.table("Accidents").raw_rows()
+        from collections import Counter
+
+        per_car = Counter(a[1] for a in accidents)
+        car_info = {c[0]: c for c in db.catalog.table("Car").raw_rows()}
+        lux_makes = {"Mercedes", "BMW", "Audi", "Lexus", "Porsche", "Jaguar"}
+        lux_counts = [per_car.get(cid, 0) for cid, c in car_info.items() if c[2] in lux_makes]
+        std_counts = [per_car.get(cid, 0) for cid, c in car_info.items() if c[2] not in lux_makes]
+        assert sum(std_counts) / len(std_counts) > sum(lux_counts) / len(lux_counts)

@@ -1,0 +1,62 @@
+"""Tests for the DMV query workload templates."""
+
+import pytest
+
+from repro.dmv.templates import (
+    four_table_workload,
+    six_table_workload,
+    template_count,
+)
+from repro.query.sql.parser import parse_sql
+
+
+class TestFourTableWorkload:
+    def test_template_count(self):
+        assert template_count() == 5
+
+    def test_default_size_matches_paper(self):
+        workload = four_table_workload(queries_per_template=60)
+        # ~300 queries over 5 templates (some grids are smaller than 60).
+        assert 250 <= len(workload) <= 300
+        assert {q.template for q in workload} == {1, 2, 3, 4, 5}
+
+    def test_deterministic(self):
+        a = four_table_workload(queries_per_template=10, seed=1)
+        b = four_table_workload(queries_per_template=10, seed=1)
+        assert [q.sql for q in a] == [q.sql for q in b]
+
+    def test_unique_qids(self):
+        workload = four_table_workload(queries_per_template=20)
+        qids = [q.qid for q in workload]
+        assert len(qids) == len(set(qids))
+
+    def test_all_queries_parse_and_connect(self):
+        for query in four_table_workload(queries_per_template=8):
+            spec = parse_sql(query.sql)
+            assert len(spec.tables) == 4
+            assert spec.join_graph().is_connected(), query.qid
+
+    def test_every_query_is_four_table_join(self):
+        for query in four_table_workload(queries_per_template=5):
+            spec = parse_sql(query.sql)
+            assert len(spec.join_predicates) == 3
+
+
+class TestSixTableWorkload:
+    def test_size(self):
+        assert len(six_table_workload(count=100)) == 100
+
+    def test_all_queries_parse_and_connect(self):
+        for query in six_table_workload(count=20):
+            spec = parse_sql(query.sql)
+            assert len(spec.tables) == 6
+            assert spec.join_graph().is_connected(), query.qid
+
+    def test_queries_run_on_extended_dmv(self):
+        from repro import AdaptiveConfig, ReorderMode
+        from repro.dmv import load_dmv
+
+        db, _ = load_dmv(scale=0.01, extended=True)
+        for query in six_table_workload(count=4):
+            result = db.execute(query.sql, AdaptiveConfig(mode=ReorderMode.NONE))
+            assert result.rows is not None

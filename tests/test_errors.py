@@ -1,0 +1,45 @@
+"""The exception hierarchy is stable API: everything derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SqlSyntaxError,
+    StorageError,
+)
+
+ALL_ERRORS = [
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    QueryError,
+    SchemaError,
+    SqlSyntaxError,
+    StorageError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+def test_sql_syntax_error_is_query_error():
+    assert issubclass(SqlSyntaxError, QueryError)
+
+
+def test_sql_syntax_error_position():
+    error = SqlSyntaxError("bad", position=7)
+    assert error.position == 7
+    assert "offset 7" in str(error)
+
+
+def test_sql_syntax_error_without_position():
+    error = SqlSyntaxError("bad")
+    assert error.position is None
+    assert str(error) == "bad"

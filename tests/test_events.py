@@ -1,0 +1,82 @@
+"""Tests for the adaptation event log."""
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.core.events import AdaptationEvent, EventKind
+
+from tests.conftest import build_three_table_db
+
+SKEW_SQL = (
+    "SELECT o.name FROM Owner o, Car c, Demo d "
+    "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+    "AND c.make = 'Rare' AND o.country = 'DE' AND d.salary < 70000"
+)
+
+
+class TestEventRecord:
+    def test_benefit_fraction(self):
+        event = AdaptationEvent(
+            kind=EventKind.DRIVING_SWITCH,
+            driving_rows_produced=10,
+            old_order=("a", "b"),
+            new_order=("b", "a"),
+            estimated_current_cost=100.0,
+            estimated_new_cost=25.0,
+        )
+        assert event.estimated_benefit == pytest.approx(0.75)
+
+    def test_describe_mentions_orders(self):
+        event = AdaptationEvent(
+            kind=EventKind.INNER_REORDER,
+            driving_rows_produced=5,
+            old_order=("a", "b", "c"),
+            new_order=("a", "c", "b"),
+            estimated_current_cost=10.0,
+            estimated_new_cost=8.0,
+            position=1,
+        )
+        text = event.describe()
+        assert "inner-reorder" in text
+        assert "a,b,c -> a,c,b" in text
+
+    def test_zero_cost_guard(self):
+        event = AdaptationEvent(
+            kind=EventKind.DRIVING_SWITCH,
+            driving_rows_produced=0,
+            old_order=("a",),
+            new_order=("b",),
+            estimated_current_cost=0.0,
+            estimated_new_cost=0.0,
+        )
+        assert event.estimated_benefit == 0.0
+
+
+class TestEventLog:
+    def test_switch_produces_event(self):
+        db = build_three_table_db(owners=2000, seed=42)
+        result = db.execute(SKEW_SQL, AdaptiveConfig(mode=ReorderMode.BOTH))
+        assert result.stats.driving_switches >= 1
+        events = result.stats.events
+        assert len(events) == result.stats.total_switches
+        switch = next(
+            e for e in events if e.kind is EventKind.DRIVING_SWITCH
+        )
+        # The model must have predicted a benefit at least as large as the
+        # configured threshold, and the orders must chain consistently.
+        assert switch.estimated_benefit >= 0.15
+        assert switch.old_order != switch.new_order
+        assert switch.driving_rows_produced >= 10  # c=10 before first check
+
+    def test_events_chain_through_history(self):
+        db = build_three_table_db(owners=2000, seed=42)
+        result = db.execute(SKEW_SQL, AdaptiveConfig(mode=ReorderMode.BOTH))
+        history = result.stats.order_history
+        for index, event in enumerate(result.stats.events):
+            assert event.old_order == history[index]
+            assert event.new_order == history[index + 1]
+
+    def test_static_run_has_no_events(self):
+        db = build_three_table_db()
+        result = db.execute(SKEW_SQL, AdaptiveConfig(mode=ReorderMode.NONE))
+        assert result.stats.events == ()

@@ -1,0 +1,190 @@
+"""Tests for the pipelined hash-probe extension (Sec 6)."""
+
+import pytest
+
+from repro import AdaptiveConfig, Database, HashProbePolicy, ReorderMode
+from repro.executor.hashprobe import HashProbeTable
+from repro.executor.pipeline import PipelineExecutor
+from repro.query.query import QuerySpec
+
+from tests.conftest import build_three_table_db, reference_join
+
+
+def build_unindexed_join_db(owners=200, seed=17):
+    """Demo has NO index on its join column — scan probes vs hash probes."""
+    import random
+
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table("Owner", [("id", "int"), ("name", "string"), ("country", "string")])
+    db.create_table("Demo", [("ownerid", "int"), ("salary", "int")])
+    db.insert(
+        "Owner",
+        [(i, f"n{i}", rng.choice(["DE", "US"])) for i in range(owners)],
+    )
+    db.insert("Demo", [(i, 20_000 + rng.randrange(80_000)) for i in range(owners)])
+    db.create_index("Owner", "id")
+    db.create_index("Owner", "country")
+    # Deliberately no index on Demo.ownerid.
+    db.analyze()
+    return db
+
+
+SQL = (
+    "SELECT o.name, d.salary FROM Owner o, Demo d "
+    "WHERE o.id = d.ownerid AND o.country = 'DE' AND d.salary < 70000"
+)
+
+
+def expected_rows(db, sql):
+    plan = db.plan(sql)
+    expanded = QuerySpec(
+        tables=plan.query.tables,
+        local_predicates=plan.query.local_predicates,
+        join_predicates=plan.query.join_predicates,
+        projection=plan.projection,
+    )
+    return sorted(reference_join(db, expanded))
+
+
+class TestHashProbeTable:
+    def make_table(self):
+        db = build_unindexed_join_db()
+        return db.catalog.table("Demo"), db.catalog.meter
+
+    def test_build_filters_locals(self):
+        from repro.query.predicates import Comparison, Op
+
+        table, meter = self.make_table()
+        predicate = Comparison("salary", Op.LT, 40_000)
+        hash_table = HashProbeTable(
+            table, "ownerid", [(predicate, predicate.bind(table.schema))], meter
+        )
+        low_salary = sum(1 for row in table.raw_rows() if row[1] < 40_000)
+        assert len(hash_table) == low_salary
+
+    def test_probe_matches(self):
+        table, meter = self.make_table()
+        hash_table = HashProbeTable(table, "ownerid", [], meter)
+        matches = hash_table.probe(5, meter)
+        assert [row for _, row in matches] == [table.peek(5)]
+
+    def test_probe_none_key(self):
+        table, meter = self.make_table()
+        hash_table = HashProbeTable(table, "ownerid", [], meter)
+        assert hash_table.probe(None, meter) == []
+
+    def test_build_charges_work(self):
+        table, meter = self.make_table()
+        before = meter.snapshot()
+        HashProbeTable(table, "ownerid", [], meter)
+        delta = meter - before
+        assert delta.hash_build_entries == len(table)
+        assert delta.row_fetches == len(table)
+
+    def test_build_records_table_wide_local_counts(self):
+        from repro.query.predicates import Comparison, Op
+
+        table, meter = self.make_table()
+        predicate = Comparison("salary", Op.LT, 40_000)
+        counts = [[0, 0]]
+        HashProbeTable(
+            table,
+            "ownerid",
+            [(predicate, predicate.bind(table.schema))],
+            meter,
+            local_counts=counts,
+        )
+        assert counts[0][0] == len(table)
+        assert 0 < counts[0][1] < len(table)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "policy", [HashProbePolicy.FALLBACK, HashProbePolicy.ALWAYS]
+    )
+    def test_matches_reference_without_join_index(self, policy):
+        db = build_unindexed_join_db()
+        config = AdaptiveConfig(mode=ReorderMode.BOTH, hash_probe_policy=policy)
+        result = db.execute(SQL, config)
+        assert sorted(result.rows) == expected_rows(db, SQL)
+
+    @pytest.mark.parametrize(
+        "policy", [HashProbePolicy.FALLBACK, HashProbePolicy.ALWAYS]
+    )
+    def test_matches_reference_with_indexes(self, policy, three_table_db):
+        sql = (
+            "SELECT o.name FROM Owner o, Car c, Demo d "
+            "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+            "AND c.make = 'Rare' AND d.salary < 60000"
+        )
+        config = AdaptiveConfig(mode=ReorderMode.BOTH, hash_probe_policy=policy)
+        result = three_table_db.execute(sql, config)
+        assert sorted(result.rows) == expected_rows(three_table_db, sql)
+
+    def test_positional_predicates_respected_under_chaos(self):
+        """Driving switches + hash probes never duplicate or lose rows."""
+        import random
+
+        from tests.test_adaptive_correctness import ScriptedController
+
+        db = build_three_table_db(owners=30, seed=3)
+        sql = (
+            "SELECT o.name, c.make, d.salary FROM Owner o, Car c, Demo d "
+            "WHERE c.ownerid = o.id AND o.id = d.ownerid AND d.salary < 70000"
+        )
+        expected = expected_rows(db, sql)
+        plan = db.plan(sql)
+        for seed in range(5):
+            config = AdaptiveConfig(
+                mode=ReorderMode.BOTH,
+                hash_probe_policy=HashProbePolicy.ALWAYS,
+            )
+            controller = ScriptedController(seed, 0.3, 0.5)
+            executor = PipelineExecutor(plan, db.catalog, config, controller)
+            controller.attach(executor)
+            assert sorted(executor.run_to_completion()) == expected, seed
+
+
+class TestEfficiency:
+    def _run_with_demo_inner(self, db, policy):
+        """Force Owner to drive so the unindexed Demo leg is probed."""
+        plan = db.plan(SQL).with_order(("o", "d"))
+        config = AdaptiveConfig(
+            mode=ReorderMode.NONE, hash_probe_policy=policy
+        )
+        executor = PipelineExecutor(plan, db.catalog, config)
+        rows = executor.run_to_completion()
+        return rows, executor
+
+    def test_hash_beats_scan_probe(self):
+        db = build_unindexed_join_db(owners=400)
+        scan_rows, scan_executor = self._run_with_demo_inner(
+            db, HashProbePolicy.OFF
+        )
+        hash_rows, hash_executor = self._run_with_demo_inner(
+            db, HashProbePolicy.FALLBACK
+        )
+        assert sorted(scan_rows) == sorted(hash_rows)
+        # Scan probes are O(|T|) per incoming row; a hash build is O(|T|)
+        # once. The gap must be large.
+        assert hash_executor.work_units * 5 < scan_executor.work_units
+
+    def test_build_reused_across_probes(self):
+        db = build_unindexed_join_db(owners=300)
+        _, executor = self._run_with_demo_inner(db, HashProbePolicy.FALLBACK)
+        # Exactly one build: the charged entries equal the number of rows
+        # passing the leg's local predicate (salary < 70000), once.
+        qualifying = sum(
+            1 for row in db.catalog.table("Demo").raw_rows() if row[1] < 70_000
+        )
+        assert executor.work.hash_build_entries == qualifying
+        assert executor.work.hash_probes > 1
+
+    def test_off_policy_never_hashes(self, three_table_db):
+        result = three_table_db.execute(
+            SQL.replace("Demo d", "Demo d"),  # same query shape
+            AdaptiveConfig(mode=ReorderMode.NONE),
+        )
+        assert result.stats.work.hash_probes == 0
+        assert result.stats.work.hash_build_entries == 0

@@ -1,0 +1,104 @@
+"""Tests for IS [NOT] NULL predicates and explain_analyze."""
+
+import pytest
+
+from repro import AdaptiveConfig, Database, ReorderMode
+from repro.catalog.statistics import StatisticsLevel
+from repro.optimizer.selectivity import DEFAULT_NULL_SELECTIVITY, Estimator
+from repro.query.predicates import IsNull
+from repro.query.sql.parser import parse_sql
+
+from tests.conftest import build_three_table_db
+
+
+@pytest.fixture(scope="module")
+def null_db():
+    db = Database()
+    db.create_table("T", [("id", "int"), ("v", "int"), ("w", "string")])
+    db.create_index("T", "id")
+    db.insert(
+        "T",
+        [(1, 10, "a"), (2, None, "b"), (3, 30, None), (4, None, None)],
+    )
+    db.analyze()
+    return db
+
+
+class TestIsNullPredicate:
+    def test_parse_is_null(self):
+        spec = parse_sql("SELECT T.id FROM T WHERE T.v IS NULL")
+        (predicate,) = spec.locals_of("T")
+        assert predicate == IsNull("v", negated=False)
+
+    def test_parse_is_not_null(self):
+        spec = parse_sql("SELECT T.id FROM T WHERE T.v IS NOT NULL")
+        (predicate,) = spec.locals_of("T")
+        assert predicate == IsNull("v", negated=True)
+
+    def test_execute_is_null(self, null_db):
+        rows = null_db.execute(
+            "SELECT T.id FROM T WHERE T.v IS NULL ORDER BY T.id"
+        ).rows
+        assert rows == [(2,), (4,)]
+
+    def test_execute_is_not_null(self, null_db):
+        rows = null_db.execute(
+            "SELECT T.id FROM T WHERE T.v IS NOT NULL ORDER BY T.id"
+        ).rows
+        assert rows == [(1,), (3,)]
+
+    def test_combined_with_other_predicates(self, null_db):
+        rows = null_db.execute(
+            "SELECT T.id FROM T WHERE T.v IS NULL AND T.w IS NOT NULL"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_not_sargable(self):
+        assert IsNull("v").key_ranges("v") is None
+
+    def test_selectivity_from_null_count(self, null_db):
+        estimator = Estimator(null_db.catalog.stats("T"))
+        assert estimator.predicate_selectivity(IsNull("v")) == pytest.approx(0.5)
+        assert estimator.predicate_selectivity(
+            IsNull("v", negated=True)
+        ) == pytest.approx(0.5)
+
+    def test_selectivity_default_without_stats(self):
+        estimator = Estimator(None)
+        assert estimator.predicate_selectivity(IsNull("v")) == pytest.approx(
+            DEFAULT_NULL_SELECTIVITY
+        )
+
+    def test_is_null_in_join_query(self, null_db):
+        # IS NULL rows never join (NULL fails equality).
+        null_db.catalog  # ensure db built
+        db = build_three_table_db()
+        rows = db.execute(
+            "SELECT o.name FROM Owner o, Car c "
+            "WHERE c.ownerid = o.id AND c.make IS NOT NULL"
+        ).rows
+        baseline = db.execute(
+            "SELECT o.name FROM Owner o, Car c WHERE c.ownerid = o.id"
+        ).rows
+        assert sorted(rows) == sorted(baseline)  # generator emits no NULL makes
+
+
+class TestExplainAnalyze:
+    def test_reports_plan_and_events(self):
+        db = build_three_table_db(owners=2000, seed=42)
+        report = db.explain_analyze(
+            "SELECT o.name FROM Owner o, Car c, Demo d "
+            "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+            "AND c.make = 'Rare' AND o.country = 'DE' AND d.salary < 70000"
+        )
+        assert "PipelinePlan" in report
+        assert "executed:" in report
+        assert "driving-switch" in report
+        assert "final order: c" in report
+
+    def test_reports_no_events_for_stable_query(self, null_db):
+        report = null_db.explain_analyze(
+            "SELECT T.id FROM T WHERE T.id = 1",
+            AdaptiveConfig(mode=ReorderMode.BOTH),
+        )
+        assert "none (the initial order held)" in report

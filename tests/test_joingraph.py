@@ -1,0 +1,143 @@
+"""Unit tests for repro.query.joingraph (incl. transitive closure)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph, JoinPredicate
+
+
+def chain_graph() -> JoinGraph:
+    """c.ownerid = o.id, o.id = d.ownerid, c.id = a.carid."""
+    return JoinGraph(
+        ["o", "c", "d", "a"],
+        [
+            JoinPredicate("c", "ownerid", "o", "id"),
+            JoinPredicate("o", "id", "d", "ownerid"),
+            JoinPredicate("c", "id", "a", "carid"),
+        ],
+    )
+
+
+class TestJoinPredicate:
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("t", "a", "t", "b")
+
+    def test_column_of(self):
+        predicate = JoinPredicate("l", "x", "r", "y")
+        assert predicate.column_of("l") == "x"
+        assert predicate.column_of("r") == "y"
+
+    def test_column_of_unknown(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("l", "x", "r", "y").column_of("z")
+
+    def test_other(self):
+        predicate = JoinPredicate("l", "x", "r", "y")
+        assert predicate.other("l") == "r"
+        assert predicate.other("r") == "l"
+
+    def test_touches(self):
+        predicate = JoinPredicate("l", "x", "r", "y")
+        assert predicate.touches("l") and predicate.touches("r")
+        assert not predicate.touches("z")
+
+    def test_value_equality(self):
+        assert JoinPredicate("l", "x", "r", "y") == JoinPredicate("l", "x", "r", "y")
+
+
+class TestConstruction:
+    def test_duplicate_aliases(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "a"], [])
+
+    def test_unknown_alias_in_predicate(self):
+        with pytest.raises(QueryError, match="unknown"):
+            JoinGraph(["a"], [JoinPredicate("a", "x", "b", "y")])
+
+
+class TestEquivalenceClasses:
+    def test_transitive_closure_merges(self):
+        graph = chain_graph()
+        # {c.ownerid, o.id, d.ownerid} is one class.
+        class_id = graph.class_id("o", "id")
+        members = set(graph.class_members(class_id))
+        assert members == {("c", "ownerid"), ("o", "id"), ("d", "ownerid")}
+
+    def test_separate_classes(self):
+        graph = chain_graph()
+        assert graph.class_id("c", "id") != graph.class_id("c", "ownerid")
+
+    def test_non_join_column_has_no_class(self):
+        assert chain_graph().class_id("o", "name") is None
+
+
+class TestAvailablePredicates:
+    def test_direct_predicate(self):
+        graph = chain_graph()
+        (predicate,) = graph.available_predicates("o", ["c"])
+        assert predicate.column_of("o") == "id"
+        assert predicate.other("o") == "c"
+
+    def test_derived_predicate(self):
+        # d joins c through the o.id equivalence class even if o is unbound.
+        graph = chain_graph()
+        (predicate,) = graph.available_predicates("d", ["c"])
+        assert predicate.column_of("d") == "ownerid"
+        assert predicate.other("d") == "c"
+        assert predicate.column_of("c") == "ownerid"
+
+    def test_one_per_class(self):
+        # With both c and o bound, d still gets exactly one predicate.
+        graph = chain_graph()
+        assert len(graph.available_predicates("d", ["c", "o"])) == 1
+
+    def test_nothing_available(self):
+        graph = chain_graph()
+        assert graph.available_predicates("d", ["a"]) == []  # a shares no class
+        assert graph.available_predicates("o", []) == []
+
+    def test_unknown_alias(self):
+        with pytest.raises(QueryError):
+            chain_graph().available_predicates("zz", [])
+
+
+class TestConnectivity:
+    def test_neighbors_include_derived(self):
+        graph = chain_graph()
+        assert graph.neighbors("d") == {"c", "o"}
+
+    def test_is_connected(self):
+        assert chain_graph().is_connected()
+
+    def test_disconnected(self):
+        graph = JoinGraph(["a", "b"], [])
+        assert not graph.is_connected()
+
+    def test_is_connected_order(self):
+        graph = chain_graph()
+        assert graph.is_connected_order(["c", "d", "o", "a"])  # derived edge
+        assert not graph.is_connected_order(["d", "a", "c", "o"])
+
+    def test_connected_orders_cover_derived(self):
+        graph = chain_graph()
+        orders = set(graph.connected_orders())
+        assert ("c", "d", "o", "a") in orders
+        assert all(len(order) == 4 for order in orders)
+
+    def test_connected_orders_with_prefix(self):
+        graph = chain_graph()
+        orders = list(graph.connected_orders(("o",)))
+        assert all(order[0] == "o" for order in orders)
+
+    def test_is_cyclic(self):
+        assert not chain_graph().is_cyclic()
+        cyclic = JoinGraph(
+            ["a", "b", "c"],
+            [
+                JoinPredicate("a", "x", "b", "x"),
+                JoinPredicate("b", "y", "c", "y"),
+                JoinPredicate("a", "z", "c", "z"),
+            ],
+        )
+        assert cyclic.is_cyclic()

@@ -1,0 +1,102 @@
+"""Unit tests for the run-time monitors (Sec 4.3)."""
+
+import pytest
+
+from repro.core.monitor import DrivingMonitor, LegMonitor, ProbeSample, SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_totals(self):
+        window = SlidingWindow(10)
+        window.add(ProbeSample(3, 1, 5.0))
+        window.add(ProbeSample(2, 2, 3.0))
+        assert window.sum_matches == 5
+        assert window.sum_output == 3
+        assert window.sum_work == 8.0
+        assert len(window) == 2
+
+    def test_eviction(self):
+        window = SlidingWindow(2)
+        window.add(ProbeSample(10, 10, 10.0))
+        window.add(ProbeSample(1, 1, 1.0))
+        window.add(ProbeSample(2, 2, 2.0))
+        assert len(window) == 2
+        assert window.sum_matches == 3  # the 10 expired
+
+    def test_lifetime_counts_everything(self):
+        window = SlidingWindow(1)
+        for _ in range(5):
+            window.add(ProbeSample(1, 1, 1.0))
+        assert window.lifetime_samples == 5
+        assert len(window) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestLegMonitor:
+    def test_join_cardinality_eq11(self):
+        monitor = LegMonitor(100)
+        monitor.record_probe(index_matches=4, output_rows=2, work_units=1.0)
+        monitor.record_probe(index_matches=6, output_rows=4, work_units=1.0)
+        assert monitor.join_cardinality() == pytest.approx(3.0)  # 6 out / 2 in
+
+    def test_index_join_selectivity_eq7(self):
+        monitor = LegMonitor(100)
+        monitor.record_probe(index_matches=5, output_rows=1, work_units=1.0)
+        # S_JP = (matches per incoming) / C(T) = 5 / 100
+        assert monitor.index_join_selectivity(100) == pytest.approx(0.05)
+
+    def test_residual_selectivity_eq6(self):
+        monitor = LegMonitor(100)
+        monitor.record_probe(index_matches=8, output_rows=2, work_units=1.0)
+        assert monitor.residual_selectivity() == pytest.approx(0.25)
+
+    def test_probe_cost_is_work_per_incoming(self):
+        monitor = LegMonitor(100)
+        monitor.record_probe(1, 1, 10.0)
+        monitor.record_probe(1, 1, 20.0)
+        assert monitor.probe_cost() == pytest.approx(15.0)
+
+    def test_no_data_returns_none(self):
+        monitor = LegMonitor(10)
+        assert monitor.join_cardinality() is None
+        assert monitor.probe_cost() is None
+        assert monitor.residual_selectivity() is None
+        assert monitor.index_join_selectivity(10) is None
+
+    def test_window_forgets_old_phases(self):
+        monitor = LegMonitor(2)
+        monitor.record_probe(1, 1, 1.0)   # old phase: JC 1
+        monitor.record_probe(1, 0, 1.0)   # new phase: JC 0
+        monitor.record_probe(1, 0, 1.0)
+        assert monitor.join_cardinality() == pytest.approx(0.0)
+
+    def test_reset(self):
+        monitor = LegMonitor(10)
+        monitor.record_probe(1, 1, 1.0)
+        monitor.reset()
+        assert monitor.incoming_rows == 0
+        assert monitor.join_cardinality() is None
+
+
+class TestDrivingMonitor:
+    def test_residual_selectivity(self):
+        monitor = DrivingMonitor(100)
+        for survived in (True, False, False, True):
+            monitor.record_scanned(survived)
+        assert monitor.residual_selectivity() == pytest.approx(0.5)
+        assert monitor.entries_scanned == 4
+        assert monitor.rows_survived == 2
+
+    def test_windowed(self):
+        monitor = DrivingMonitor(2)
+        monitor.record_scanned(True)
+        monitor.record_scanned(False)
+        monitor.record_scanned(False)
+        assert monitor.residual_selectivity() == pytest.approx(0.0)
+        assert monitor.entries_scanned == 3  # lifetime still counts
+
+    def test_no_data(self):
+        assert DrivingMonitor(5).residual_selectivity() is None

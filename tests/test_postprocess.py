@@ -1,0 +1,182 @@
+"""Tests for aggregates, GROUP BY, ORDER BY, LIMIT (the blocking stage)."""
+
+import pytest
+
+from repro import AdaptiveConfig, Database, QueryError, ReorderMode
+from repro.errors import SqlSyntaxError
+from repro.query.aggregates import AggFunc, Aggregate, OrderItem
+from repro.query.query import OutputColumn, QuerySpec
+from repro.query.sql.parser import parse_sql
+
+from tests.conftest import build_three_table_db
+
+
+@pytest.fixture(scope="module")
+def agg_db():
+    db = Database()
+    db.create_table("T", [("id", "int"), ("grp", "string"), ("v", "int")])
+    db.create_index("T", "id")
+    rows = [(i, "ab"[i % 2], i * 10) for i in range(10)]
+    rows.append((10, "a", None))  # NULL value for aggregate semantics
+    db.insert("T", rows)
+    db.analyze()
+    return db
+
+
+class TestParsing:
+    def test_count_star(self):
+        spec = parse_sql("SELECT COUNT(*) FROM T")
+        (item,) = spec.select_items
+        assert isinstance(item, Aggregate)
+        assert item.func is AggFunc.COUNT_STAR
+
+    def test_aggregate_with_column(self):
+        spec = parse_sql("SELECT SUM(T.v) FROM T")
+        (item,) = spec.select_items
+        assert item.func is AggFunc.SUM
+        assert item.column == OutputColumn("T", "v")
+
+    def test_group_by(self):
+        spec = parse_sql("SELECT T.grp, COUNT(*) FROM T GROUP BY T.grp")
+        assert spec.group_by == (OutputColumn("T", "grp"),)
+
+    def test_order_by_directions(self):
+        spec = parse_sql("SELECT T.id FROM T ORDER BY T.v DESC, T.id ASC")
+        assert spec.order_by == (
+            OrderItem(OutputColumn("T", "v"), descending=True),
+            OrderItem(OutputColumn("T", "id"), descending=False),
+        )
+
+    def test_limit(self):
+        assert parse_sql("SELECT T.id FROM T LIMIT 5").limit == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT T.id FROM T LIMIT -1")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="SUM"):
+            parse_sql("SELECT SUM(*) FROM T")
+
+    def test_plain_queries_keep_projection_path(self):
+        spec = parse_sql("SELECT T.id FROM T")
+        assert spec.select_items == ()
+        assert not spec.has_post_processing
+
+    def test_count_is_not_reserved(self):
+        # COUNT used as a plain column name still parses.
+        spec = parse_sql("SELECT T.count FROM T")
+        assert spec.projection == (OutputColumn("T", "count"),)
+
+
+class TestValidation:
+    def test_ungrouped_column_with_aggregate(self):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            parse_sql("SELECT T.grp, COUNT(*) FROM T")
+
+    def test_group_by_without_aggregate(self):
+        with pytest.raises(QueryError, match="requires at least one aggregate"):
+            parse_sql("SELECT T.grp FROM T GROUP BY T.grp")
+
+    def test_order_by_non_grouped_column(self):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT T.grp, COUNT(*) FROM T GROUP BY T.grp ORDER BY T.v")
+
+    def test_spec_rejects_projection_and_items(self):
+        with pytest.raises(QueryError, match="not both"):
+            QuerySpec(
+                tables={"T": "T"},
+                projection=[OutputColumn("T", "a")],
+                select_items=[OutputColumn("T", "a")],
+            )
+
+
+class TestExecution:
+    def test_group_by_aggregates(self, agg_db):
+        rows = agg_db.execute(
+            "SELECT T.grp, COUNT(*), SUM(T.v), MIN(T.v), MAX(T.v) "
+            "FROM T GROUP BY T.grp ORDER BY T.grp"
+        ).rows
+        assert rows == [("a", 6, 200, 0, 80), ("b", 5, 250, 10, 90)]
+
+    def test_count_ignores_nulls_count_star_does_not(self, agg_db):
+        rows = agg_db.execute("SELECT COUNT(*), COUNT(T.v) FROM T").rows
+        assert rows == [(11, 10)]
+
+    def test_avg(self, agg_db):
+        rows = agg_db.execute("SELECT AVG(T.v) FROM T").rows
+        assert rows == [(45.0)] or rows == [(45.0,)]
+
+    def test_global_aggregate_over_empty_input(self, agg_db):
+        rows = agg_db.execute("SELECT COUNT(*), SUM(T.v) FROM T WHERE T.id > 99").rows
+        assert rows == [(0, None)]
+
+    def test_order_by_asc_desc(self, agg_db):
+        asc = agg_db.execute("SELECT T.id FROM T WHERE T.v > 60 ORDER BY T.v").rows
+        desc = agg_db.execute(
+            "SELECT T.id FROM T WHERE T.v > 60 ORDER BY T.v DESC"
+        ).rows
+        assert asc == list(reversed(desc))
+        assert asc == [(7,), (8,), (9,)]
+
+    def test_order_by_nulls_first(self, agg_db):
+        rows = agg_db.execute("SELECT T.v FROM T ORDER BY T.v LIMIT 2").rows
+        assert rows == [(None,), (0,)]
+
+    def test_order_by_column_not_in_select(self, agg_db):
+        rows = agg_db.execute("SELECT T.id FROM T ORDER BY T.v DESC LIMIT 1").rows
+        assert rows == [(9,)]
+        assert len(rows[0]) == 1  # the order key is not leaked into output
+
+    def test_select_star_with_order_and_limit(self, agg_db):
+        rows = agg_db.execute("SELECT * FROM T ORDER BY T.id DESC LIMIT 2").rows
+        assert [r[0] for r in rows] == [10, 9]
+        assert len(rows[0]) == 3
+
+    def test_limit_zero(self, agg_db):
+        assert agg_db.execute("SELECT T.id FROM T LIMIT 0").rows == []
+
+    def test_limit_beyond_rows(self, agg_db):
+        assert len(agg_db.execute("SELECT T.id FROM T LIMIT 999").rows) == 11
+
+
+class TestAboveAdaptivePipeline:
+    """Sec 3.1/footnote 3: blocking stage is reorder-invariant."""
+
+    SQL = (
+        "SELECT o.country, COUNT(*) FROM Owner o, Car c, Demo d "
+        "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+        "AND c.make = 'Rare' AND d.salary < 90000 "
+        "GROUP BY o.country ORDER BY o.country"
+    )
+
+    def test_aggregate_identical_under_adaptation(self):
+        db = build_three_table_db(owners=500, seed=31)
+        static = db.execute(self.SQL, AdaptiveConfig(mode=ReorderMode.NONE))
+        adaptive = db.execute(
+            self.SQL,
+            AdaptiveConfig(
+                mode=ReorderMode.BOTH, check_frequency=1, warmup_rows=1
+            ),
+        )
+        assert static.rows == adaptive.rows  # ordered comparison!
+
+    def test_order_by_restores_sort_after_driving_switch(self):
+        db = build_three_table_db(owners=800, seed=33)
+        sql = (
+            "SELECT o.id, c.id FROM Owner o, Car c "
+            "WHERE c.ownerid = o.id AND c.make = 'Rare' "
+            "ORDER BY o.id, c.id"
+        )
+        static = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE))
+        adaptive = db.execute(
+            sql,
+            AdaptiveConfig(
+                mode=ReorderMode.BOTH,
+                check_frequency=1,
+                warmup_rows=1,
+                switch_benefit_threshold=0.0,
+            ),
+        )
+        assert static.rows == adaptive.rows
+        assert static.rows == sorted(static.rows)

@@ -1,0 +1,190 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AdaptiveConfig, Database, ReorderMode
+from repro.query.query import QuerySpec
+from repro.storage.index import SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable
+from repro.storage.types import ColumnType
+
+from tests.conftest import reference_join
+
+
+# ---------------------------------------------------------------------------
+# Index vs. naive filter
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.one_of(st.integers(min_value=-5, max_value=15), st.none()),
+        max_size=30,
+    ),
+    low=st.integers(min_value=-6, max_value=16),
+    high=st.integers(min_value=-6, max_value=16),
+    low_inclusive=st.booleans(),
+    high_inclusive=st.booleans(),
+)
+def test_index_range_scan_equals_naive_filter(
+    values, low, high, low_inclusive, high_inclusive
+):
+    schema = TableSchema("t", [Column("k", ColumnType.INT)])
+    table = HeapTable(schema)
+    table.insert_many([(value,) for value in values])
+    index = SortedIndex("ix", table, "k")
+    scanned = sorted(
+        rid
+        for _, rid in index.scan_range(low, high, low_inclusive, high_inclusive)
+    )
+    expected = sorted(
+        rid
+        for rid, value in enumerate(values)
+        if value is not None
+        and (value > low or (low_inclusive and value == low))
+        and (value < high or (high_inclusive and value == high))
+    )
+    assert scanned == expected
+
+
+# ---------------------------------------------------------------------------
+# Aggregation vs. a Python reference
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(st.integers(min_value=-50, max_value=50), st.none()),
+        ),
+        max_size=40,
+    )
+)
+def test_group_by_aggregates_match_reference(rows):
+    db = Database()
+    db.create_table("T", [("grp", "string"), ("v", "int")])
+    db.insert("T", rows)
+    db.analyze()
+    result = db.execute(
+        "SELECT T.grp, COUNT(*), COUNT(T.v), SUM(T.v), MIN(T.v), MAX(T.v) "
+        "FROM T GROUP BY T.grp ORDER BY T.grp",
+        AdaptiveConfig(mode=ReorderMode.NONE),
+    ).rows
+    expected = []
+    for group in sorted({g for g, _ in rows}):
+        values = [v for g, v in rows if g == group and v is not None]
+        count_star = sum(1 for g, _ in rows if g == group)
+        expected.append(
+            (
+                group,
+                count_star,
+                len(values),
+                sum(values) if values else None,
+                min(values) if values else None,
+                max(values) if values else None,
+            )
+        )
+    assert result == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.one_of(st.integers(min_value=-9, max_value=9), st.none()),
+        ),
+        max_size=30,
+    ),
+    descending=st.booleans(),
+    limit=st.integers(min_value=0, max_value=10),
+)
+def test_order_by_limit_matches_reference(rows, descending, limit):
+    db = Database()
+    db.create_table("T", [("id", "int"), ("v", "int")])
+    db.insert("T", rows)
+    db.analyze()
+    direction = "DESC" if descending else "ASC"
+    result = db.execute(
+        f"SELECT T.id, T.v FROM T ORDER BY T.v {direction}, T.id LIMIT {limit}",
+        AdaptiveConfig(mode=ReorderMode.NONE),
+    ).rows
+    # Reference: NULLs first (ascending), stable on (v, id).
+    def key(row):
+        return (row[1] is not None, row[1] if row[1] is not None else 0)
+
+    expected = sorted(rows, key=lambda r: (r[0],))
+    expected = sorted(expected, key=key, reverse=descending)
+    expected = expected[:limit]
+    assert result == [tuple(r) for r in expected]
+
+
+# ---------------------------------------------------------------------------
+# Random conjunctive join queries vs. the brute-force reference
+# ---------------------------------------------------------------------------
+
+MAKES = ["A", "B", "C", "Rare"]
+COUNTRIES = ["DE", "US", "FR"]
+
+
+def _random_query(rng: random.Random) -> str:
+    predicates = []
+    if rng.random() < 0.7:
+        predicates.append(f"c.make = '{rng.choice(MAKES)}'")
+    if rng.random() < 0.7:
+        predicates.append(f"o.country = '{rng.choice(COUNTRIES)}'")
+    if rng.random() < 0.7:
+        low = rng.randrange(20_000, 70_000)
+        predicates.append(
+            rng.choice(
+                [
+                    f"d.salary < {low + 20_000}",
+                    f"d.salary BETWEEN {low} AND {low + 25_000}",
+                ]
+            )
+        )
+    if rng.random() < 0.3:
+        makes = rng.sample(MAKES, 2)
+        predicates.append(
+            f"(c.make = '{makes[0]}' OR c.make = '{makes[1]}')"
+        )
+    where = " AND ".join(
+        ["c.ownerid = o.id", "o.id = d.ownerid"] + predicates
+    )
+    return (
+        "SELECT o.name, c.make, d.salary FROM Owner o, Car c, Demo d "
+        f"WHERE {where}"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    query_seed=st.integers(min_value=0, max_value=10_000),
+    data_seed=st.integers(min_value=0, max_value=30),
+    adaptive=st.booleans(),
+)
+def test_random_queries_match_reference(query_seed, data_seed, adaptive):
+    from tests.conftest import build_three_table_db
+
+    db = build_three_table_db(owners=25, seed=data_seed)
+    sql = _random_query(random.Random(query_seed))
+    config = AdaptiveConfig(
+        mode=ReorderMode.BOTH if adaptive else ReorderMode.NONE,
+        check_frequency=1,
+        warmup_rows=1,
+        switch_benefit_threshold=0.0,
+    )
+    result = db.execute(sql, config)
+    plan = db.plan(sql)
+    expanded = QuerySpec(
+        tables=plan.query.tables,
+        local_predicates=plan.query.local_predicates,
+        join_predicates=plan.query.join_predicates,
+        projection=plan.projection,
+    )
+    assert sorted(result.rows) == sorted(reference_join(db, expanded))

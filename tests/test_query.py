@@ -1,0 +1,67 @@
+"""Unit tests for repro.query.query."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.joingraph import JoinPredicate
+from repro.query.predicates import Comparison, Op
+from repro.query.query import OutputColumn, QuerySpec
+
+
+def make_spec() -> QuerySpec:
+    return QuerySpec(
+        tables={"o": "Owner", "c": "Car"},
+        local_predicates={"o": [Comparison("country", Op.EQ, "DE")]},
+        join_predicates=[JoinPredicate("c", "ownerid", "o", "id")],
+        projection=[OutputColumn("o", "name")],
+    )
+
+
+class TestValidation:
+    def test_empty_tables(self):
+        with pytest.raises(QueryError):
+            QuerySpec(tables={})
+
+    def test_unknown_alias_in_locals(self):
+        with pytest.raises(QueryError, match="unknown alias"):
+            QuerySpec(
+                tables={"o": "Owner"},
+                local_predicates={"x": [Comparison("a", Op.EQ, 1)]},
+            )
+
+    def test_unknown_alias_in_join(self):
+        with pytest.raises(QueryError):
+            QuerySpec(
+                tables={"o": "Owner"},
+                join_predicates=[JoinPredicate("o", "id", "z", "id")],
+            )
+
+    def test_unknown_alias_in_projection(self):
+        with pytest.raises(QueryError):
+            QuerySpec(
+                tables={"o": "Owner"},
+                projection=[OutputColumn("z", "name")],
+            )
+
+
+class TestAccessors:
+    def test_aliases(self):
+        assert make_spec().aliases == ("o", "c")
+
+    def test_table_of(self):
+        assert make_spec().table_of("c") == "Car"
+        with pytest.raises(QueryError):
+            make_spec().table_of("z")
+
+    def test_locals_of(self):
+        spec = make_spec()
+        assert len(spec.locals_of("o")) == 1
+        assert spec.locals_of("c") == ()
+
+    def test_join_graph(self):
+        graph = make_spec().join_graph()
+        assert graph.is_connected()
+
+    def test_describe_mentions_everything(self):
+        text = make_spec().describe()
+        assert "Owner" in text and "country" in text and "SELECT o.name" in text

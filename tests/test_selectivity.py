@@ -1,0 +1,131 @@
+"""Unit tests for the static selectivity estimator."""
+
+import pytest
+
+from repro.catalog.statistics import (
+    StatisticsLevel,
+    collect_table_stats,
+)
+from repro.optimizer.selectivity import (
+    DEFAULT_BETWEEN_SELECTIVITY,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    Estimator,
+    join_selectivity,
+)
+from repro.query.joingraph import JoinPredicate
+from repro.query.predicates import Between, Comparison, Disjunction, InList, Op
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable
+from repro.storage.types import ColumnType
+
+
+def make_stats(values, level=StatisticsLevel.BASIC):
+    schema = TableSchema("t", [Column("k", ColumnType.INT)])
+    table = HeapTable(schema)
+    table.insert_many([(value,) for value in values])
+    return collect_table_stats(table, level)
+
+
+class TestWithoutStats:
+    estimator = Estimator(None)
+
+    def test_eq_default(self):
+        sel = self.estimator.predicate_selectivity(Comparison("k", Op.EQ, 1))
+        assert sel == DEFAULT_EQ_SELECTIVITY
+
+    def test_range_default(self):
+        sel = self.estimator.predicate_selectivity(Comparison("k", Op.LT, 1))
+        assert sel == DEFAULT_RANGE_SELECTIVITY
+
+    def test_between_default(self):
+        sel = self.estimator.predicate_selectivity(Between("k", 1, 2))
+        assert sel == DEFAULT_BETWEEN_SELECTIVITY
+
+    def test_in_list_sums(self):
+        sel = self.estimator.predicate_selectivity(InList("k", [1, 2, 3]))
+        assert sel == pytest.approx(3 * DEFAULT_EQ_SELECTIVITY)
+
+    def test_conjunction_multiplies(self):
+        sel = self.estimator.conjunction_selectivity(
+            [Comparison("k", Op.EQ, 1), Comparison("k", Op.LT, 5)]
+        )
+        assert sel == pytest.approx(
+            DEFAULT_EQ_SELECTIVITY * DEFAULT_RANGE_SELECTIVITY
+        )
+
+
+class TestUniformity:
+    def test_eq_is_one_over_ndv(self):
+        estimator = Estimator(make_stats([1, 2, 3, 4]))
+        sel = estimator.predicate_selectivity(Comparison("k", Op.EQ, 1))
+        assert sel == pytest.approx(0.25)
+
+    def test_eq_ignores_skew_without_frequent_values(self):
+        # 90% of rows are value 1, but uniformity says 1/2.
+        estimator = Estimator(make_stats([1] * 9 + [2]))
+        sel = estimator.predicate_selectivity(Comparison("k", Op.EQ, 1))
+        assert sel == pytest.approx(0.5)
+
+    def test_ne_complements(self):
+        estimator = Estimator(make_stats([1, 2, 3, 4]))
+        sel = estimator.predicate_selectivity(Comparison("k", Op.NE, 1))
+        assert sel == pytest.approx(0.75)
+
+    def test_range_interpolates(self):
+        estimator = Estimator(make_stats(list(range(0, 101))))
+        sel = estimator.predicate_selectivity(Comparison("k", Op.LT, 25))
+        assert sel == pytest.approx(0.25)
+
+    def test_range_clamped(self):
+        estimator = Estimator(make_stats(list(range(0, 11))))
+        assert estimator.predicate_selectivity(Comparison("k", Op.LT, -5)) == 0.0
+        assert estimator.predicate_selectivity(Comparison("k", Op.GE, -5)) == 1.0
+
+    def test_between_combines(self):
+        estimator = Estimator(make_stats(list(range(0, 101))))
+        sel = estimator.predicate_selectivity(Between("k", 25, 75))
+        assert sel == pytest.approx(0.5, abs=0.02)
+
+    def test_disjunction(self):
+        estimator = Estimator(make_stats([1, 2, 3, 4]))
+        sel = estimator.predicate_selectivity(
+            Disjunction([Comparison("k", Op.EQ, 1), Comparison("k", Op.EQ, 2)])
+        )
+        assert sel == pytest.approx(1 - 0.75 * 0.75)
+
+
+class TestFrequentValues:
+    def test_skew_captured(self):
+        estimator = Estimator(make_stats([1] * 9 + [2], StatisticsLevel.DETAILED))
+        sel = estimator.predicate_selectivity(Comparison("k", Op.EQ, 1))
+        assert sel == pytest.approx(0.9)
+
+    def test_rare_value_outside_top_n(self):
+        values = [1] * 50 + [2] * 30 + list(range(100, 130))
+        schema = TableSchema("t", [Column("k", ColumnType.INT)])
+        table = HeapTable(schema)
+        table.insert_many([(v,) for v in values])
+        from repro.catalog.statistics import collect_column_stats
+        from repro.catalog.statistics import TableStats
+
+        stats = TableStats(
+            cardinality=len(values),
+            columns={"k": collect_column_stats(values, True, top_n=2)},
+        )
+        estimator = Estimator(stats)
+        sel = estimator.predicate_selectivity(Comparison("k", Op.EQ, 110))
+        # 30 remaining rows over 30 remaining distinct values -> ~1 row.
+        assert sel == pytest.approx(1 / len(values), rel=0.5)
+
+
+class TestJoinSelectivity:
+    def test_one_over_max_ndv(self):
+        left = make_stats([1, 2, 3, 4])
+        right = make_stats([1, 1, 2, 2])
+        predicate = JoinPredicate("l", "k", "r", "k")
+        assert join_selectivity(predicate, left, right) == pytest.approx(0.25)
+
+    def test_default_without_stats(self):
+        predicate = JoinPredicate("l", "k", "r", "k")
+        assert join_selectivity(predicate, None, None) == pytest.approx(0.01)

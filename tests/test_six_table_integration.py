@@ -1,0 +1,65 @@
+"""Integration tests on the six-table extended DMV workload (Sec 5.5)."""
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.dmv import load_dmv, six_table_workload
+
+
+@pytest.fixture(scope="module")
+def extended_dmv():
+    return load_dmv(scale=0.02, extended=True)
+
+
+class TestSixTableExecution:
+    def test_modes_agree_on_workload_sample(self, extended_dmv):
+        db, _ = extended_dmv
+        configs = [
+            AdaptiveConfig(mode=ReorderMode.NONE),
+            AdaptiveConfig(mode=ReorderMode.INNER_ONLY),
+            AdaptiveConfig(mode=ReorderMode.DRIVING_ONLY),
+            AdaptiveConfig(mode=ReorderMode.BOTH, check_frequency=2, warmup_rows=2),
+        ]
+        for query in six_table_workload(count=6):
+            reference = None
+            for config in configs:
+                rows = sorted(db.execute(query.sql, config).rows)
+                if reference is None:
+                    reference = rows
+                assert rows == reference, (query.qid, config.mode)
+
+    def test_six_leg_pipeline_order(self, extended_dmv):
+        db, _ = extended_dmv
+        (query, *_rest) = six_table_workload(count=2)
+        result = db.execute(query.sql, AdaptiveConfig(mode=ReorderMode.NONE))
+        assert len(result.final_order) == 6
+
+    def test_aggressive_adaptation_stays_correct(self, extended_dmv):
+        db, _ = extended_dmv
+        aggressive = AdaptiveConfig(
+            mode=ReorderMode.BOTH,
+            check_frequency=1,
+            warmup_rows=1,
+            history_window=5,
+            switch_benefit_threshold=0.0,
+        )
+        static = AdaptiveConfig(mode=ReorderMode.NONE)
+        for query in six_table_workload(count=4):
+            expected = sorted(db.execute(query.sql, static).rows)
+            actual = sorted(db.execute(query.sql, aggressive).rows)
+            assert actual == expected, query.qid
+
+    def test_dimension_joins_filter(self, extended_dmv):
+        db, _ = extended_dmv
+        total = db.execute(
+            "SELECT COUNT(*) FROM Accidents a, Location l "
+            "WHERE a.locationid = l.id",
+            AdaptiveConfig(mode=ReorderMode.NONE),
+        ).rows[0][0]
+        urban = db.execute(
+            "SELECT COUNT(*) FROM Accidents a, Location l "
+            "WHERE a.locationid = l.id AND l.urban = 1",
+            AdaptiveConfig(mode=ReorderMode.NONE),
+        ).rows[0][0]
+        # Accidents skew toward urban locations (generator property).
+        assert urban > total * 0.5

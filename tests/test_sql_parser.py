@@ -1,0 +1,164 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query.predicates import Between, Comparison, Disjunction, InList, Op
+from repro.query.sql.parser import parse_sql
+
+
+class TestSelectFrom:
+    def test_simple_select(self):
+        spec = parse_sql("SELECT o.name FROM Owner o")
+        assert spec.tables == {"o": "Owner"}
+        assert [str(col) for col in spec.projection] == ["o.name"]
+
+    def test_select_star(self):
+        spec = parse_sql("SELECT * FROM Owner o")
+        assert spec.projection == ()
+
+    def test_alias_with_as(self):
+        spec = parse_sql("SELECT x.name FROM Owner AS x")
+        assert spec.tables == {"x": "Owner"}
+
+    def test_table_without_alias(self):
+        spec = parse_sql("SELECT name FROM Owner")
+        assert spec.tables == {"Owner": "Owner"}
+        assert spec.projection[0].alias == "Owner"
+
+    def test_multiple_tables(self):
+        spec = parse_sql("SELECT o.name FROM Owner o, Car c")
+        assert set(spec.tables) == {"o", "c"}
+
+    def test_duplicate_alias(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate"):
+            parse_sql("SELECT o.a FROM Owner o, Car o")
+
+    def test_unqualified_column_multi_table(self):
+        with pytest.raises(SqlSyntaxError, match="alias-qualified"):
+            parse_sql("SELECT name FROM Owner o, Car c")
+
+
+class TestWhere:
+    def test_comparison(self):
+        spec = parse_sql("SELECT o.name FROM Owner o WHERE o.age > 30")
+        (predicate,) = spec.locals_of("o")
+        assert predicate == Comparison("age", Op.GT, 30)
+
+    def test_string_literal(self):
+        spec = parse_sql("SELECT o.name FROM Owner o WHERE o.city = 'Cairo'")
+        (predicate,) = spec.locals_of("o")
+        assert predicate.value == "Cairo"
+
+    def test_between(self):
+        spec = parse_sql(
+            "SELECT o.name FROM Owner o WHERE o.age BETWEEN 20 AND 30"
+        )
+        assert spec.locals_of("o") == (Between("age", 20, 30),)
+
+    def test_in_list(self):
+        spec = parse_sql(
+            "SELECT o.name FROM Owner o WHERE o.city IN ('A', 'B')"
+        )
+        assert spec.locals_of("o") == (InList("city", ("A", "B")),)
+
+    def test_join_predicate(self):
+        spec = parse_sql(
+            "SELECT o.name FROM Owner o, Car c WHERE c.ownerid = o.id"
+        )
+        (join,) = spec.join_predicates
+        assert join.column_of("c") == "ownerid"
+        assert join.column_of("o") == "id"
+
+    def test_conjunction_mixes_joins_and_locals(self):
+        spec = parse_sql(
+            "SELECT o.name FROM Owner o, Car c "
+            "WHERE c.ownerid = o.id AND c.make = 'Mazda' AND o.age < 50"
+        )
+        assert len(spec.join_predicates) == 1
+        assert len(spec.locals_of("c")) == 1
+        assert len(spec.locals_of("o")) == 1
+
+    def test_or_group(self):
+        spec = parse_sql(
+            "SELECT c.id FROM Car c WHERE (c.make = 'A' OR c.make = 'B')"
+        )
+        (predicate,) = spec.locals_of("c")
+        assert isinstance(predicate, Disjunction)
+        assert len(predicate.terms) == 2
+
+    def test_or_group_three_terms(self):
+        spec = parse_sql(
+            "SELECT c.id FROM Car c "
+            "WHERE (c.make = 'A' OR c.make = 'B' OR c.year > 2000)"
+        )
+        (predicate,) = spec.locals_of("c")
+        assert len(predicate.terms) == 3
+
+    def test_parenthesized_conjunction_flattens(self):
+        spec = parse_sql(
+            "SELECT c.id FROM Car c WHERE (c.make = 'A' AND c.year > 2000)"
+        )
+        assert len(spec.locals_of("c")) == 2
+
+    def test_parenthesized_single_term(self):
+        spec = parse_sql("SELECT c.id FROM Car c WHERE (c.make = 'A')")
+        assert len(spec.locals_of("c")) == 1
+
+
+class TestErrors:
+    def test_or_across_tables_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="single table"):
+            parse_sql(
+                "SELECT o.id FROM Owner o, Car c "
+                "WHERE (o.age > 5 OR c.year > 2000)"
+            )
+
+    def test_join_inside_or_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="OR groups"):
+            parse_sql(
+                "SELECT o.id FROM Owner o, Car c "
+                "WHERE (c.ownerid = o.id OR c.year > 2000)"
+            )
+
+    def test_non_equality_join_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="equality"):
+            parse_sql("SELECT o.id FROM Owner o, Car c WHERE c.ownerid < o.id")
+
+    def test_not_in_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="NOT IN"):
+            parse_sql("SELECT o.id FROM Owner o WHERE o.age NOT IN (1, 2)")
+
+    def test_same_table_column_comparison_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT o.id FROM Owner o WHERE o.a = o.b")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT o.id")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT o.id FROM Owner o extra")
+
+    def test_missing_literal(self):
+        with pytest.raises(SqlSyntaxError, match="literal"):
+            parse_sql("SELECT o.id FROM Owner o WHERE o.age >")
+
+    def test_unknown_alias_in_where(self):
+        with pytest.raises(SqlSyntaxError, match="unknown table alias"):
+            parse_sql("SELECT o.id FROM Owner o WHERE z.age > 5")
+
+
+class TestRoundTrip:
+    def test_paper_example_1(self):
+        spec = parse_sql(
+            "SELECT o.name, a.driver FROM Owner o, Car c, Demographics d, "
+            "Accidents a WHERE c.ownerid = o.id AND o.id = d.ownerid AND "
+            "c.id = a.carid AND (c.make='Chevrolet' OR c.make='Mercedes') "
+            "AND o.country1 = 'Germany' AND d.salary < 50000"
+        )
+        assert len(spec.tables) == 4
+        assert len(spec.join_predicates) == 3
+        assert isinstance(spec.locals_of("c")[0], Disjunction)
+        assert spec.join_graph().is_connected()

@@ -1,0 +1,83 @@
+"""Unit tests for repro.catalog.statistics."""
+
+from repro.catalog.statistics import (
+    StatisticsLevel,
+    collect_column_stats,
+    collect_table_stats,
+)
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable
+from repro.storage.types import ColumnType
+
+
+class TestColumnStats:
+    def test_basic_counts(self):
+        stats = collect_column_stats([1, 2, 2, 3, None])
+        assert stats.ndv == 3
+        assert stats.null_count == 1
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_all_null(self):
+        stats = collect_column_stats([None, None])
+        assert stats.ndv == 0
+        assert stats.null_count == 2
+        assert stats.min_value is None
+
+    def test_empty(self):
+        stats = collect_column_stats([])
+        assert stats.ndv == 0
+
+    def test_frequent_values_disabled_by_default(self):
+        stats = collect_column_stats([1, 1, 2])
+        assert not stats.has_frequent_values
+
+    def test_frequent_values_top_n(self):
+        values = [1] * 5 + [2] * 3 + [3]
+        stats = collect_column_stats(values, with_frequent_values=True, top_n=2)
+        assert stats.frequent_values == {1: 5, 2: 3}
+
+    def test_strings(self):
+        stats = collect_column_stats(["b", "a", "a"])
+        assert stats.min_value == "a"
+        assert stats.max_value == "b"
+        assert stats.ndv == 2
+
+
+class TestTableStats:
+    def make_table(self):
+        schema = TableSchema(
+            "t", [Column("k", ColumnType.INT), Column("v", ColumnType.STRING)]
+        )
+        table = HeapTable(schema)
+        table.insert_many([(1, "a"), (1, "b"), (2, None)])
+        return table
+
+    def test_basic_level(self):
+        stats = collect_table_stats(self.make_table())
+        assert stats.cardinality == 3
+        assert stats.column("k").ndv == 2
+        assert stats.column("v").null_count == 1
+
+    def test_cardinality_level_has_no_columns(self):
+        stats = collect_table_stats(
+            self.make_table(), level=StatisticsLevel.CARDINALITY
+        )
+        assert stats.cardinality == 3
+        assert stats.column("k") is None
+
+    def test_detailed_level_has_frequent_values(self):
+        stats = collect_table_stats(
+            self.make_table(), level=StatisticsLevel.DETAILED
+        )
+        assert stats.column("k").frequent_values == {1: 2, 2: 1}
+
+    def test_collection_does_not_charge_work(self):
+        table = self.make_table()
+        before = table.meter.snapshot()
+        collect_table_stats(table)
+        assert (table.meter - before).total_units == 0.0
+
+    def test_unknown_column_is_none(self):
+        stats = collect_table_stats(self.make_table())
+        assert stats.column("missing") is None

@@ -1,0 +1,148 @@
+"""Unit tests for repro.storage.index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.index import SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HeapTable
+from repro.storage.types import ColumnType
+
+
+def make_indexed_table(values):
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.INT), Column("v", ColumnType.STRING)]
+    )
+    table = HeapTable(schema)
+    table.insert_many([(value, f"v{i}") for i, value in enumerate(values)])
+    return table, SortedIndex("ix", table, "k")
+
+
+class TestBuild:
+    def test_entries_sorted_by_key_then_rid(self):
+        _, index = make_indexed_table([3, 1, 3, 2])
+        entries = list(index.scan_range())
+        assert entries == [(1, 1), (2, 3), (3, 0), (3, 2)]
+
+    def test_none_keys_not_indexed(self):
+        _, index = make_indexed_table([1, None, 2])
+        assert len(index) == 2
+
+    def test_refresh_after_insert(self):
+        table, index = make_indexed_table([1, 2])
+        table.insert([0, "new"])
+        index.refresh()
+        assert [rid for _, rid in index.scan_range()] == [2, 0, 1]
+
+    def test_stale_index_raises(self):
+        table, index = make_indexed_table([1])
+        table.insert([2, "x"])
+        with pytest.raises(StorageError, match="stale"):
+            index.lookup_rids(1)
+
+    def test_refresh_noop_when_fresh(self):
+        _, index = make_indexed_table([1])
+        index.refresh()  # must not raise
+        assert len(index) == 1
+
+
+class TestLookup:
+    def test_lookup_hits(self):
+        _, index = make_indexed_table([5, 7, 5])
+        assert index.lookup_rids(5) == [0, 2]
+
+    def test_lookup_miss(self):
+        _, index = make_indexed_table([5])
+        assert index.lookup_rids(9) == []
+
+    def test_lookup_none_is_empty(self):
+        _, index = make_indexed_table([5, None])
+        assert index.lookup_rids(None) == []
+
+    def test_lookup_charges_descend_and_entries(self):
+        table, index = make_indexed_table([5, 5, 5])
+        before = table.meter.snapshot()
+        index.lookup_rids(5)
+        delta = table.meter - before
+        assert delta.index_descends == 1
+        assert delta.index_entries == 3
+
+
+class TestScanRange:
+    def test_inclusive_bounds(self):
+        _, index = make_indexed_table([1, 2, 3, 4])
+        keys = [k for k, _ in index.scan_range(low=2, high=3)]
+        assert keys == [2, 3]
+
+    def test_exclusive_bounds(self):
+        _, index = make_indexed_table([1, 2, 3, 4])
+        keys = [
+            k
+            for k, _ in index.scan_range(
+                low=1, high=4, low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert keys == [2, 3]
+
+    def test_unbounded(self):
+        _, index = make_indexed_table([2, 1])
+        assert [k for k, _ in index.scan_range()] == [1, 2]
+
+    def test_start_after_skips(self):
+        _, index = make_indexed_table([1, 2, 2, 3])
+        entries = list(index.scan_range(start_after=(2, 1)))
+        assert entries == [(2, 2), (3, 3)]
+
+    def test_start_after_before_everything(self):
+        _, index = make_indexed_table([1, 2])
+        entries = list(index.scan_range(start_after=(0, 10**9)))
+        assert [k for k, _ in entries] == [1, 2]
+
+    def test_scan_charges_per_entry(self):
+        table, index = make_indexed_table([1, 2, 3])
+        before = table.meter.snapshot()
+        list(index.scan_range(low=1, high=2))
+        delta = table.meter - before
+        assert delta.index_entries == 2
+
+
+class TestCounts:
+    def test_count_range(self):
+        _, index = make_indexed_table([1, 2, 2, 3])
+        assert index.count_range(2, 2) == 2
+        assert index.count_range(low=2) == 3
+        assert index.count_range() == 4
+
+    def test_count_range_after(self):
+        _, index = make_indexed_table([1, 2, 2, 3])
+        assert index.count_range_after((2, 1)) == 2
+        assert index.count_range_after(None) == 4
+        assert index.count_range_after((3, 3)) == 0
+
+    def test_count_range_after_respects_bounds(self):
+        _, index = make_indexed_table([1, 2, 2, 3])
+        assert index.count_range_after((1, 0), low=2, high=2) == 2
+        assert index.count_range_after((2, 1), low=2, high=2) == 1
+
+    def test_counts_do_not_charge(self):
+        table, index = make_indexed_table([1, 2])
+        before = table.meter.snapshot()
+        index.count_range(1, 2)
+        index.count_range_after((1, 0))
+        assert (table.meter - before).index_entries == 0
+
+    def test_distinct_key_count(self):
+        _, index = make_indexed_table([1, 2, 2, 3, 3, 3])
+        assert index.distinct_key_count() == 3
+
+
+class TestStringKeys:
+    def test_string_ordering(self):
+        schema = TableSchema(
+            "s", [Column("k", ColumnType.STRING), Column("v", ColumnType.INT)]
+        )
+        table = HeapTable(schema)
+        table.insert_many([("Mercedes", 1), ("Chevrolet", 2), ("Ford", 3)])
+        index = SortedIndex("ix", table, "k")
+        keys = [k for k, _ in index.scan_range()]
+        assert keys == ["Chevrolet", "Ford", "Mercedes"]

@@ -1,0 +1,85 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("name", ColumnType.STRING),
+            Column("score", ColumnType.FLOAT),
+        ],
+    )
+
+
+class TestColumn:
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnType.INT)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+
+class TestTableSchema:
+    def test_column_names(self):
+        assert make_schema().column_names() == ("id", "name", "score")
+
+    def test_position_of(self):
+        schema = make_schema()
+        assert schema.position_of("id") == 0
+        assert schema.position_of("score") == 2
+
+    def test_position_of_unknown(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_schema().position_of("missing")
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("name")
+        assert not schema.has_column("missing")
+
+    def test_duplicate_column(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", [Column("a", ColumnType.INT)] * 2)
+
+    def test_empty_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", [Column("a", ColumnType.INT)])
+
+    def test_len(self):
+        assert len(make_schema()) == 3
+
+    def test_column_accessor(self):
+        assert make_schema().column("name").type is ColumnType.STRING
+
+
+class TestValidateRow:
+    def test_valid_row(self):
+        assert make_schema().validate_row([1, "a", 2]) == (1, "a", 2.0)
+
+    def test_wrong_arity(self):
+        with pytest.raises(StorageError, match="expected 3 values"):
+            make_schema().validate_row([1, "a"])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(StorageError, match="NOT NULL"):
+            make_schema().validate_row([None, "a", 1.0])
+
+    def test_nullable_allows_none(self):
+        assert make_schema().validate_row([1, None, None]) == (1, None, None)
+
+    def test_type_mismatch(self):
+        with pytest.raises(StorageError):
+            make_schema().validate_row([1, 2, 3.0])

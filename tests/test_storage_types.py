@@ -1,0 +1,70 @@
+"""Unit tests for repro.storage.types."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.types import ColumnType, infer_type
+
+
+class TestValidate:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.validate(5) == 5
+
+    def test_int_rejects_float(self):
+        with pytest.raises(StorageError):
+            ColumnType.INT.validate(5.0)
+
+    def test_int_rejects_str(self):
+        with pytest.raises(StorageError):
+            ColumnType.INT.validate("5")
+
+    def test_float_accepts_float(self):
+        assert ColumnType.FLOAT.validate(2.5) == 2.5
+
+    def test_float_widens_int(self):
+        value = ColumnType.FLOAT.validate(2)
+        assert value == 2.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_str(self):
+        with pytest.raises(StorageError):
+            ColumnType.FLOAT.validate("2.5")
+
+    def test_string_accepts_str(self):
+        assert ColumnType.STRING.validate("abc") == "abc"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(StorageError):
+            ColumnType.STRING.validate(1)
+
+    def test_none_passes_any_type(self):
+        for column_type in ColumnType:
+            assert column_type.validate(None) is None
+
+    @pytest.mark.parametrize("column_type", list(ColumnType))
+    def test_bool_rejected_everywhere(self, column_type):
+        with pytest.raises(StorageError):
+            column_type.validate(True)
+
+    def test_error_mentions_column_name(self):
+        with pytest.raises(StorageError, match="salary"):
+            ColumnType.INT.validate("x", column_name="salary")
+
+
+class TestInferType:
+    def test_int(self):
+        assert infer_type(3) is ColumnType.INT
+
+    def test_float(self):
+        assert infer_type(3.5) is ColumnType.FLOAT
+
+    def test_string(self):
+        assert infer_type("x") is ColumnType.STRING
+
+    def test_bool_rejected(self):
+        with pytest.raises(StorageError):
+            infer_type(True)
+
+    def test_unsupported(self):
+        with pytest.raises(StorageError):
+            infer_type([1, 2])
