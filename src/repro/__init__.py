@@ -26,27 +26,46 @@ from repro.core.config import (
 )
 from repro.db import Database, ExecutionStats, QueryResult
 from repro.errors import (
+    BudgetExceeded,
     CatalogError,
     ExecutionError,
+    OracleViolation,
+    PermanentStorageError,
     PlanError,
     QueryError,
     ReproError,
     SchemaError,
     SqlSyntaxError,
     StorageError,
+    TransientStorageError,
 )
 from repro.query.sql.parser import parse_sql
+from repro.robustness import (
+    CancellationToken,
+    ExecutionLimits,
+    FaultPlan,
+    FaultSpec,
+    InvariantOracle,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveConfig",
+    "BudgetExceeded",
+    "CancellationToken",
     "CatalogError",
     "Database",
     "ExecutionError",
+    "ExecutionLimits",
     "ExecutionStats",
+    "FaultPlan",
+    "FaultSpec",
     "HashProbePolicy",
     "InnerReorderPolicy",
+    "InvariantOracle",
+    "OracleViolation",
+    "PermanentStorageError",
     "PlanError",
     "QueryError",
     "QueryResult",
@@ -56,6 +75,7 @@ __all__ = [
     "SqlSyntaxError",
     "StatisticsLevel",
     "StorageError",
+    "TransientStorageError",
     "parse_sql",
     "__version__",
 ]

@@ -29,6 +29,8 @@ class Catalog:
         self._tables: dict[str, HeapTable] = {}
         self._indexes: dict[str, dict[str, SortedIndex]] = {}
         self._stats: dict[str, TableStats] = {}
+        # Active fault injector (chaos testing), shared with every table.
+        self.faults = None
 
     # -- definition ------------------------------------------------------
     def create_table(self, name: str, columns: Sequence[Column]) -> HeapTable:
@@ -90,3 +92,19 @@ class Catalog:
         """Statistics for *table_name*, or ``None`` if never analyzed."""
         self.table(table_name)
         return self._stats.get(table_name)
+
+    # -- fault injection (chaos testing) ----------------------------------
+    def install_faults(self, injector) -> None:
+        """Arm *injector* on the catalog and every registered table.
+
+        Storage operations (index lookups, cursor advances, hash probes)
+        and the adaptation controller consult the injector at their trigger
+        points; passing ``None`` disarms. Callers should disarm in a
+        ``finally`` so one chaotic execution cannot leak into the next.
+        """
+        self.faults = injector
+        for table in self._tables.values():
+            table.faults = injector
+
+    def clear_faults(self) -> None:
+        self.install_faults(None)

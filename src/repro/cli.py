@@ -32,7 +32,9 @@ from repro.bench import (
 from repro.core.config import AdaptiveConfig, ReorderMode
 from repro.db import Database
 from repro.dmv import four_table_workload, load_dmv, six_table_workload
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, ReproError
+from repro.robustness.faults import FaultPlan
+from repro.robustness.limits import ExecutionLimits
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -73,6 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain", action="store_true", help="print the static plan"
     )
+    query.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        help="abort with a budget error after this many result rows",
+    )
+    query.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-execution wall-clock deadline in milliseconds",
+    )
+    query.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help="fault-injection plan for the adaptive run: inline JSON "
+        '(e.g. \'{"seed": 7, "faults": [{"site": "controller", '
+        '"nth_call": 1, "kind": "permanent"}]}\') or a path to a JSON file',
+    )
 
     shell = commands.add_parser("shell", help="interactive SQL shell")
     _add_scale(shell)
@@ -101,11 +123,32 @@ def _load(args) -> Database:
     return db
 
 
-def _run_query(db: Database, sql: str, mode: ReorderMode, explain: bool) -> None:
+def _parse_fault_plan(value: str | None) -> FaultPlan | None:
+    if value is None:
+        return None
+    text = value.strip()
+    if not text.startswith("{"):
+        with open(text, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return FaultPlan.from_json(text)
+
+
+def _run_query(
+    db: Database,
+    sql: str,
+    mode: ReorderMode,
+    explain: bool,
+    limits: ExecutionLimits | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> None:
     if explain:
         print(db.explain(sql))
         print()
-    static = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE))
+    try:
+        static = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE), limits=limits)
+    except BudgetExceeded as error:
+        print(f"static:   budget exceeded — {error.progress_summary()}")
+        return
     for row in static.rows[:25]:
         print(row)
     if len(static.rows) > 25:
@@ -113,7 +156,16 @@ def _run_query(db: Database, sql: str, mode: ReorderMode, explain: bool) -> None
     print(f"\nstatic:   {static.stats.total_work:12,.0f} work units "
           f"({static.stats.wall_seconds * 1000:.1f} ms)")
     if mode is not ReorderMode.NONE:
-        adaptive = db.execute(sql, AdaptiveConfig(mode=mode))
+        try:
+            adaptive = db.execute(
+                sql,
+                AdaptiveConfig(mode=mode),
+                limits=limits,
+                fault_plan=fault_plan,
+            )
+        except BudgetExceeded as error:
+            print(f"adaptive: budget exceeded — {error.progress_summary()}")
+            return
         matches = sorted(adaptive.rows) == sorted(static.rows)
         print(f"adaptive: {adaptive.stats.total_work:12,.0f} work units "
               f"({adaptive.stats.wall_seconds * 1000:.1f} ms), "
@@ -121,7 +173,10 @@ def _run_query(db: Database, sql: str, mode: ReorderMode, explain: bool) -> None
               f"results {'match' if matches else 'MISMATCH!'}")
         speedup = static.stats.total_work / max(adaptive.stats.total_work, 1e-9)
         print(f"speedup:  {speedup:12.2f}x")
-        if adaptive.stats.order_changed:
+        if adaptive.stats.degraded:
+            print("DEGRADED: the adaptive layer failed and was disabled; "
+                  "the query completed on its static order")
+        if adaptive.stats.events:
             print("adaptation events:")
             for event in adaptive.stats.events:
                 print(f"  {event.describe()}")
@@ -134,8 +189,34 @@ def cmd_generate(args) -> int:
 
 
 def cmd_query(args) -> int:
+    try:
+        fault_plan = _parse_fault_plan(args.fault_plan)
+    except (OSError, ValueError) as error:
+        print(f"error: invalid --fault-plan: {error}", file=sys.stderr)
+        return 2
+    limits = None
+    if args.max_rows is not None or args.timeout_ms is not None:
+        try:
+            limits = ExecutionLimits(
+                max_rows=args.max_rows,
+                timeout_seconds=(
+                    args.timeout_ms / 1000.0
+                    if args.timeout_ms is not None
+                    else None
+                ),
+            )
+        except ValueError as error:
+            print(f"error: invalid limits: {error}", file=sys.stderr)
+            return 2
     db = _load(args)
-    _run_query(db, args.sql, ReorderMode(args.mode), args.explain)
+    _run_query(
+        db,
+        args.sql,
+        ReorderMode(args.mode),
+        args.explain,
+        limits=limits,
+        fault_plan=fault_plan,
+    )
     return 0
 
 

@@ -29,7 +29,7 @@ from repro.core.events import AdaptationEvent, EventKind
 from repro.optimizer.cost import cost_of_order
 from repro.core.ranks import RuntimeModelBuilder
 from repro.core.reorder import decide_inner_order
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ReproError
 from repro.storage.cursor import IndexScanCursor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,26 +74,37 @@ class AdaptationController:
         pipeline.catalog.meter.charge_reorder_check()
         self.inner_checks += 1
         assert self._builder is not None
-        self._builder.refresh_join_selectivities()
-        provider = self._builder.build_provider()
-        new_suffix = decide_inner_order(
-            pipeline, provider, position, config.inner_policy
-        )
-        if new_suffix is not None:
-            old_order = tuple(pipeline.order)
-            new_order = tuple(pipeline.order[:position]) + tuple(new_suffix)
-            pipeline.events.append(
-                AdaptationEvent(
-                    kind=EventKind.INNER_REORDER,
-                    driving_rows_produced=pipeline.driving_rows_total,
-                    old_order=old_order,
-                    new_order=new_order,
-                    estimated_current_cost=cost_of_order(old_order, provider),
-                    estimated_new_cost=cost_of_order(new_order, provider),
-                    position=position,
-                )
+        try:
+            if pipeline.catalog.faults is not None:
+                pipeline.catalog.faults.fire("controller")
+            self._builder.refresh_join_selectivities()
+            provider = self._builder.build_provider()
+            new_suffix = decide_inner_order(
+                pipeline, provider, position, config.inner_policy
             )
-            pipeline.apply_inner_order(position, new_suffix)
+            if new_suffix is not None:
+                old_order = tuple(pipeline.order)
+                new_order = tuple(pipeline.order[:position]) + tuple(new_suffix)
+                pipeline.events.append(
+                    AdaptationEvent(
+                        kind=EventKind.INNER_REORDER,
+                        driving_rows_produced=pipeline.driving_rows_total,
+                        old_order=old_order,
+                        new_order=new_order,
+                        estimated_current_cost=cost_of_order(old_order, provider),
+                        estimated_new_cost=cost_of_order(new_order, provider),
+                        position=position,
+                    )
+                )
+                pipeline.apply_inner_order(position, new_suffix)
+        except ReproError as exc:
+            # Context for degraded-mode events: which check, which leg,
+            # which position, and how far execution had progressed.
+            raise ExecutionError(
+                f"inner-reorder check failed at position {position} "
+                f"(leg {order[position]!r}, order {tuple(order)}, "
+                f"{pipeline.driving_rows_total} driving rows)"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Fig 3: REORDER_DRIVING_TABLE()
@@ -122,26 +133,35 @@ class AdaptationController:
         pipeline.driving_rows_since_check = 0
         pipeline.catalog.meter.charge_reorder_check()
         self.driving_checks += 1
-        if config.dynamic_access_path:
-            self._refresh_dynamic_specs()
         assert self._builder is not None
-        self._builder.refresh_join_selectivities()
-        provider = self._builder.build_provider()
-        new_order = decide_driving_switch(pipeline, provider, config)
-        if new_order is None:
-            return False
-        old_order = tuple(pipeline.order)
-        pipeline.events.append(
-            AdaptationEvent(
-                kind=EventKind.DRIVING_SWITCH,
-                driving_rows_produced=pipeline.driving_rows_total,
-                old_order=old_order,
-                new_order=tuple(new_order),
-                estimated_current_cost=cost_of_order(old_order, provider),
-                estimated_new_cost=cost_of_order(tuple(new_order), provider),
+        try:
+            if pipeline.catalog.faults is not None:
+                pipeline.catalog.faults.fire("controller")
+            if config.dynamic_access_path:
+                self._refresh_dynamic_specs()
+            self._builder.refresh_join_selectivities()
+            provider = self._builder.build_provider()
+            new_order = decide_driving_switch(pipeline, provider, config)
+            if new_order is None:
+                return False
+            old_order = tuple(pipeline.order)
+            pipeline.events.append(
+                AdaptationEvent(
+                    kind=EventKind.DRIVING_SWITCH,
+                    driving_rows_produced=pipeline.driving_rows_total,
+                    old_order=old_order,
+                    new_order=tuple(new_order),
+                    estimated_current_cost=cost_of_order(old_order, provider),
+                    estimated_new_cost=cost_of_order(tuple(new_order), provider),
+                )
             )
-        )
-        pipeline.apply_driving_switch(new_order)
+            pipeline.apply_driving_switch(new_order)
+        except ReproError as exc:
+            raise ExecutionError(
+                f"driving-switch check failed (driving leg "
+                f"{pipeline.order[0]!r}, order {tuple(pipeline.order)}, "
+                f"{pipeline.driving_rows_total} driving rows)"
+            ) from exc
         return True
 
     def _refresh_dynamic_specs(self) -> None:

@@ -27,6 +27,7 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import StatisticsLevel
 from repro.core.config import AdaptiveConfig, ReorderMode
 from repro.core.controller import AdaptationController
+from repro.core.events import EventKind
 from repro.errors import SchemaError
 from repro.executor.pipeline import PipelineExecutor
 from repro.executor.postprocess import PostProcessor
@@ -34,6 +35,10 @@ from repro.optimizer.optimizer import StaticOptimizer
 from repro.optimizer.plans import PipelinePlan
 from repro.query.query import QuerySpec
 from repro.query.sql.parser import parse_sql
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.guard import SandboxedController
+from repro.robustness.limits import ExecutionLimits
+from repro.robustness.oracle import InvariantOracle
 from repro.storage.counters import WorkMeter
 from repro.storage.schema import Column
 from repro.storage.types import ColumnType
@@ -99,6 +104,11 @@ class ExecutionStats:
     def order_changed(self) -> bool:
         return self.total_switches > 0
 
+    @property
+    def degraded(self) -> bool:
+        """True when the adaptive layer failed and was sandboxed off."""
+        return any(event.kind is EventKind.DEGRADED for event in self.events)
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -108,6 +118,9 @@ class QueryResult:
     stats: ExecutionStats
     plan: PipelinePlan
     final_order: tuple[str, ...]
+    # The invariant oracle that shadowed this execution (debug mode only);
+    # its RID-tuple multiset supports exact duplicate/missing comparisons.
+    oracle: InvariantOracle | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -193,12 +206,35 @@ class Database:
         self,
         query: str | QuerySpec | PipelinePlan,
         config: AdaptiveConfig | None = None,
+        *,
+        limits: ExecutionLimits | None = None,
+        fault_plan: FaultPlan | FaultInjector | None = None,
+        oracle: InvariantOracle | bool | None = None,
+        sandbox: bool = True,
     ) -> QueryResult:
         """Run *query* under the given adaptive configuration.
 
         The default configuration enables both inner-leg reordering and
         driving-leg switching (the paper's full technique); pass
         ``AdaptiveConfig(mode=ReorderMode.NONE)`` for the static baseline.
+
+        Robustness knobs:
+
+        * *limits* — per-query budgets (rows, work units, deadline,
+          cancellation); hitting one raises
+          :class:`~repro.errors.BudgetExceeded` with partial-progress
+          stats;
+        * *fault_plan* — arm deterministic fault injection for this one
+          execution (chaos testing); a plan builds a fresh injector, an
+          injector is used as-is so callers can inspect its fire counts;
+        * *oracle* — ``True`` (or an :class:`InvariantOracle`) shadows
+          execution with debug-mode invariant checks: depleted-state
+          preconditions and RID-tuple duplicate detection; the oracle is
+          returned on ``QueryResult.oracle``;
+        * *sandbox* — when True (the default), exceptions from the
+          adaptive layer degrade the query to its current order (recorded
+          as a ``DEGRADED`` event) instead of aborting it; pass False to
+          let them propagate for debugging.
         """
         if isinstance(query, PipelinePlan):
             plan = query
@@ -209,11 +245,30 @@ class Database:
         controller = (
             AdaptationController(config) if config.mode.monitors else None
         )
-        executor = PipelineExecutor(plan, self.catalog, config, controller)
+        if controller is not None and sandbox:
+            controller = SandboxedController(controller)
+        if oracle is True:
+            oracle = InvariantOracle()
+        elif oracle is False:
+            oracle = None
+        executor = PipelineExecutor(
+            plan, self.catalog, config, controller, limits=limits, oracle=oracle
+        )
         if controller is not None:
             controller.attach(executor)
+        injector: FaultInjector | None = None
+        if isinstance(fault_plan, FaultPlan):
+            injector = fault_plan.build()
+        elif fault_plan is not None:
+            injector = fault_plan
         before = self.catalog.meter.snapshot()
-        rows = executor.run_to_completion()
+        try:
+            if injector is not None:
+                self.catalog.install_faults(injector)
+            rows = executor.run_to_completion()
+        finally:
+            if injector is not None:
+                self.catalog.clear_faults()
         if plan.query.has_post_processing:
             # Blocking stage above the pipeline (aggregation / ORDER BY /
             # LIMIT, Sec 3.1); insensitive to run-time reordering.
@@ -233,4 +288,5 @@ class Database:
             stats=stats,
             plan=plan,
             final_order=tuple(executor.order),
+            oracle=oracle,
         )

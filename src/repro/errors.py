@@ -24,6 +24,18 @@ class StorageError(ReproError):
     """Low-level storage failure (bad RID, type mismatch on insert, ...)."""
 
 
+class TransientStorageError(StorageError):
+    """A storage failure that may succeed on retry (injected or real).
+
+    The access layer retries these with exponential backoff; only after the
+    retry budget is exhausted do they propagate to the caller.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A storage failure that will not go away; never retried."""
+
+
 class QueryError(ReproError):
     """A query specification is malformed (unknown alias, bad predicate, ...)."""
 
@@ -47,3 +59,44 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """The executor entered an inconsistent state at run time."""
+
+
+class BudgetExceeded(ExecutionError):
+    """A per-query execution limit was hit (rows, work, deadline, cancel).
+
+    Carries the partial-progress statistics at the moment the limit fired so
+    callers can report how far the query got.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        rows_emitted: int = 0,
+        work_units: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        driving_rows: int = 0,
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.rows_emitted = rows_emitted
+        self.work_units = work_units
+        self.elapsed_seconds = elapsed_seconds
+        self.driving_rows = driving_rows
+
+    def progress_summary(self) -> str:
+        return (
+            f"{self.reason} after {self.rows_emitted} row(s), "
+            f"{self.work_units:,.0f} work units, "
+            f"{self.elapsed_seconds * 1000:.1f} ms, "
+            f"{self.driving_rows} driving row(s)"
+        )
+
+
+class OracleViolation(ExecutionError):
+    """A debug-mode invariant oracle caught the executor breaking a rule.
+
+    Raised only when an :class:`~repro.robustness.oracle.InvariantOracle` is
+    attached: duplicate output rows, or an adaptation fired outside its
+    depleted-state precondition.
+    """

@@ -26,6 +26,7 @@ from repro.core.config import HashProbePolicy
 from repro.core.monitor import DrivingMonitor, LegMonitor
 from repro.errors import ExecutionError
 from repro.executor.hashprobe import HashProbeTable
+from repro.robustness.faults import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
 from repro.optimizer.plans import DrivingKind, PlanLeg
 from repro.query.joingraph import JoinPredicate
 from repro.query.predicates import PositionalPredicate
@@ -88,6 +89,18 @@ class RuntimeLeg:
         self.probe_config: ProbeConfig | None = None
         self.incoming_since_check = 0
         self.hash_policy = hash_policy
+        # Transient-fault retry (only consulted while a fault injector is
+        # armed; the production path never pays the wrapper).
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        # Oracle mode: probe() additionally records the RIDs of its matches
+        # (aligned with the returned rows) in self.match_rids.
+        self.collect_rids = False
+        self.match_rids: list[int] = []
+        # Monitoring is advisory: if it raises, it is disabled for this leg
+        # and the failure reported through degrade_hook (set by the
+        # executor) instead of aborting the query.
+        self.degrade_hook: Callable[[str, BaseException], None] | None = None
+        self.monitor_failure: BaseException | None = None
         # Hash builds are cached per access column: reorders and driving
         # switches that keep the same access column reuse the build.
         self._hash_tables: dict[str, HashProbeTable] = {}
@@ -180,35 +193,69 @@ class RuntimeLeg:
             raise ExecutionError(f"leg {self.alias!r} has no probe config")
         meter = self.meter
         work_before = meter.execution_units if self.monitoring_enabled else 0.0
+        faulty = self.table.faults is not None
 
         skip_locals = False
         if config.hash_column is not None and config.key_getter is not None:
             key = config.key_getter(binding)
-            candidates = self._hash_table_for(config.hash_column).probe(
-                key, meter
-            )
+            hash_table = self._hash_table_for(config.hash_column)
+            if faulty:
+                candidates = call_with_retry(
+                    lambda: hash_table.probe(key, meter), self.retry_policy
+                )
+            else:
+                candidates = hash_table.probe(key, meter)
             # Hash builds are pre-filtered by the local predicates.
             skip_locals = True
         elif config.access_index is not None and config.key_getter is not None:
             key = config.key_getter(binding)
-            rids = config.access_index.lookup_rids(key)
+            index = config.access_index
+            if faulty:
+                rids = call_with_retry(
+                    lambda: index.lookup_rids(key), self.retry_policy
+                )
+            else:
+                rids = index.lookup_rids(key)
             candidates = [(rid, self.table.fetch(rid)) for rid in rids]
         else:
             candidates = list(self.table.scan())
         index_matches = len(candidates)
 
         matches: list[Row] = []
+        match_rids: list[int] = []
         for rid, row in candidates:
             if not self._passes_residuals(binding, rid, row, config, skip_locals):
                 continue
             matches.append(row)
+            if self.collect_rids:
+                match_rids.append(rid)
+        if self.collect_rids:
+            self.match_rids = match_rids
 
         if self.monitoring_enabled:
-            work = meter.execution_units - work_before
-            self.monitor.record_probe(index_matches, len(matches), work)
-            meter.charge_monitor_update()
-            self.incoming_since_check += 1
+            try:
+                if faulty:
+                    self.table.faults.fire("monitor")
+                work = meter.execution_units - work_before
+                self.monitor.record_probe(index_matches, len(matches), work)
+                meter.charge_monitor_update()
+                self.incoming_since_check += 1
+            except Exception as exc:
+                self._degrade_monitoring(exc)
         return matches
+
+    def _degrade_monitoring(self, exc: BaseException) -> None:
+        """Disable this leg's monitoring after a failure inside it.
+
+        Monitoring is pure observation: losing it costs estimate freshness,
+        never correctness, so the query continues. The executor's hook
+        records a ``DEGRADED`` event; without a hook the failure is kept on
+        ``monitor_failure`` for post-mortem inspection.
+        """
+        self.monitoring_enabled = False
+        self.monitor_failure = exc
+        if self.degrade_hook is not None:
+            self.degrade_hook(self.alias, exc)
 
     def _hash_table_for(self, column: str) -> HashProbeTable:
         table = self._hash_tables.get(column)
@@ -292,12 +339,26 @@ class RuntimeLeg:
             test for predicate, test in self.local_tests if predicate is not pushed
         ]
         monitor = self.driving_monitor
-        for _, row in cursor:
+        while True:
+            try:
+                if self.table.faults is not None:
+                    # Cursor advances consult the fault injector before any
+                    # state change, so transient faults are retryable.
+                    _, row = call_with_retry(
+                        lambda: next(cursor), self.retry_policy
+                    )
+                else:
+                    _, row = next(cursor)
+            except StopIteration:
+                return
             self.meter.charge_predicate_eval(len(residual_tests))
             survived = all(test(row) for test in residual_tests)
             if self.monitoring_enabled and monitor is not None:
-                monitor.record_scanned(survived)
-                self.meter.charge_monitor_update()
+                try:
+                    monitor.record_scanned(survived)
+                    self.meter.charge_monitor_update()
+                except Exception as exc:
+                    self._degrade_monitoring(exc)
             if survived:
                 yield row
 

@@ -81,6 +81,11 @@ class HashProbeTable:
 
     def probe(self, key: Any, meter: WorkMeter) -> list[tuple[int, Row]]:
         """(rid, row) pairs whose build key equals *key*."""
+        faults = self.table.faults
+        if faults is not None:
+            # The table is immutable once built, so probes are idempotent
+            # and transient faults here are always retryable.
+            faults.fire("hash-probe")
         matches = self._buckets.get(key, []) if key is not None else []
         meter.charge_hash_probe(len(matches))
         return matches

@@ -25,10 +25,14 @@ from typing import Any, Callable, Iterator, Protocol
 
 from repro.catalog.catalog import Catalog
 from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.core.events import AdaptationEvent, EventKind
 from repro.core.positions import PositionRegistry
 from repro.errors import ExecutionError
 from repro.executor.access import Binding, Cursor, RuntimeLeg
 from repro.optimizer.plans import PipelinePlan
+from repro.robustness.guard import describe_failure
+from repro.robustness.limits import ExecutionLimits, LimitEnforcer
+from repro.robustness.oracle import InvariantOracle
 from repro.storage.counters import WorkMeter
 from repro.storage.table import Row
 
@@ -68,6 +72,8 @@ class PipelineExecutor:
         catalog: Catalog,
         config: AdaptiveConfig | None = None,
         controller: AdaptationHooks | None = None,
+        limits: ExecutionLimits | None = None,
+        oracle: InvariantOracle | None = None,
     ) -> None:
         self.plan = plan
         self.catalog = catalog
@@ -75,6 +81,8 @@ class PipelineExecutor:
         self.controller: AdaptationHooks = (
             controller if controller is not None else _NoAdaptation()
         )
+        self.limits = limits
+        self.oracle = oracle
         monitoring = self.config.mode.monitors
         self.legs = {
             alias: RuntimeLeg(
@@ -86,6 +94,10 @@ class PipelineExecutor:
             )
             for alias in plan.order
         }
+        for leg in self.legs.values():
+            leg.degrade_hook = self._record_monitor_degraded
+            if oracle is not None:
+                leg.collect_rids = True
         self.order: list[str] = list(plan.order)
         self.schemas = {alias: leg.schema for alias, leg in self.legs.items()}
         self.join_graph = plan.query.join_graph()
@@ -114,6 +126,12 @@ class PipelineExecutor:
         self.wall_seconds = 0.0
         self.work: WorkMeter | None = None  # this run's work delta
         self._started = False
+        # Smallest pipeline position whose suffix is currently depleted
+        # (0 = whole pipeline); None while a row is bound below the suffix.
+        # This is the machine-checkable form of the paper's depleted-state
+        # precondition — the invariant oracle reads it before permutations.
+        self.depleted_from: int | None = None
+        self._enforcer: LimitEnforcer | None = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -146,12 +164,18 @@ class PipelineExecutor:
         previous_access = (
             leg.probe_config.access_predicate if leg.probe_config else None
         )
-        leg.compile_probe(
-            preceding=self.order[:position],
-            graph=self.join_graph,
-            schemas=self.schemas,
-            sel_of=self.predicate_selectivity,
-        )
+        try:
+            leg.compile_probe(
+                preceding=self.order[:position],
+                graph=self.join_graph,
+                schemas=self.schemas,
+                sel_of=self.predicate_selectivity,
+            )
+        except ExecutionError as exc:
+            raise ExecutionError(
+                f"probe compilation failed for leg {alias!r} at position "
+                f"{position} of order {tuple(self.order)}"
+            ) from exc
         new_access = leg.probe_config.access_predicate if leg.probe_config else None
         if previous_access is not None and new_access != previous_access:
             # The probe semantics changed; old windowed counters no longer
@@ -171,6 +195,8 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     def apply_inner_order(self, position: int, new_suffix: list[str]) -> None:
         """Reorder the depleted suffix starting at *position* (>= 1)."""
+        if self.oracle is not None:
+            self.oracle.check_inner_reorder(self, position, new_suffix)
         if position < 1:
             raise ExecutionError("inner reordering cannot move the driving leg")
         current_suffix = self.order[position:]
@@ -188,6 +214,8 @@ class PipelineExecutor:
 
     def apply_driving_switch(self, new_order: list[str]) -> None:
         """Switch the driving leg; only legal when the pipeline is depleted."""
+        if self.oracle is not None:
+            self.oracle.check_driving_switch(self)
         if sorted(new_order) != sorted(self.order):
             raise ExecutionError(
                 f"new order {new_order} is not a permutation of {self.order}"
@@ -218,6 +246,24 @@ class PipelineExecutor:
         self.driving_rows_since_check = 0
         self.order_history.append(tuple(self.order))
 
+    def _record_monitor_degraded(self, alias: str, exc: BaseException) -> None:
+        """A leg's monitor failed; note it and keep executing (Sec 4.3 is
+        advice, not execution — losing a monitor never loses rows)."""
+        order = tuple(self.order)
+        self.events.append(
+            AdaptationEvent(
+                kind=EventKind.DEGRADED,
+                driving_rows_produced=self.driving_rows_total,
+                old_order=order,
+                new_order=order,
+                estimated_current_cost=0.0,
+                estimated_new_cost=0.0,
+                reason=(
+                    f"monitor failure on leg {alias!r}: {describe_failure(exc)}"
+                ),
+            )
+        )
+
     @property
     def total_switches(self) -> int:
         return self.inner_reorders + self.driving_switches
@@ -235,6 +281,8 @@ class PipelineExecutor:
         if self._started:
             raise ExecutionError("a PipelineExecutor instance runs only once")
         self._started = True
+        if self.limits is not None and not self.limits.unlimited:
+            self._enforcer = LimitEnforcer(self.limits, self)
         started_at = time.perf_counter()
         before = self.catalog.meter.snapshot()
         try:
@@ -243,64 +291,106 @@ class PipelineExecutor:
             self.wall_seconds = time.perf_counter() - started_at
             self.work = self.catalog.meter - before
 
+    def _driving_rid(self) -> int:
+        """RID of the driving row just produced (oracle mode).
+
+        Valid immediately after the driving iterator yields: the cursor's
+        last position — ``(rid,)`` for table scans, ``(key, rid)`` for
+        index scans — is exactly the yielded row's.
+        """
+        assert self.driving_cursor is not None
+        position = self.driving_cursor.last_position
+        assert position is not None
+        return position[-1]
+
     def _run(self) -> Iterator[tuple[Any, ...]]:
         self._open_driving(self.order[0])
         self._compile_all_probes()
         leg_count = len(self.order)
         meter = self.catalog.meter
+        limits = self._enforcer
+        oracle = self.oracle
         if leg_count == 1:
             only = self.order[0]
             assert self._driving_iter is not None
             for row in self._driving_iter:
+                if limits is not None:
+                    limits.check_emit()
+                self.driving_rows_total += 1
                 self.rows_emitted += 1
                 meter.charge_row_emitted()
+                if oracle is not None:
+                    oracle.record_emit({only: self._driving_rid()})
                 yield self._projector({only: row})
             return
 
         binding: Binding = {}
+        # RIDs of the currently bound rows, keyed like binding (oracle mode).
+        rid_binding: dict[str, int] = {}
         # iterators[i] yields rows for the leg at position i; index 0 is the
-        # driving iterator, others are per-outer-row match lists.
+        # driving iterator, others are per-outer-row match lists. In oracle
+        # mode rid_iterators[i] yields the matching RIDs in lockstep.
         iterators: list[Iterator[Row] | None] = [None] * leg_count
+        rid_iterators: list[Iterator[int] | None] = [None] * leg_count
         position = 0
         last = leg_count - 1
         while True:
             if position == 0:
                 # Whole pipeline depleted: the controller may switch the
                 # driving leg before the next outer row is fetched.
+                self.depleted_from = 0
                 if self.controller.on_pipeline_depleted():
                     leg_count = len(self.order)
                     last = leg_count - 1
                     binding.clear()
+                    rid_binding.clear()
+                if limits is not None:
+                    limits.check()
                 assert self._driving_iter is not None
                 row = next(self._driving_iter, None)
                 if row is None:
                     return
+                self.depleted_from = None
                 self.driving_rows_since_check += 1
                 self.driving_rows_total += 1
                 binding[self.order[0]] = row
+                if oracle is not None:
+                    rid_binding[self.order[0]] = self._driving_rid()
                 position = 1
-                iterators[1] = iter(
-                    self.legs[self.order[1]].probe(binding)
-                )
+                leg = self.legs[self.order[1]]
+                iterators[1] = iter(leg.probe(binding))
+                if oracle is not None:
+                    rid_iterators[1] = iter(leg.match_rids)
                 continue
             iterator = iterators[position]
             assert iterator is not None
             row = next(iterator, None)
             if row is None:
                 # Legs at positions >= position are depleted (Sec 4.1).
+                self.depleted_from = position
                 self.controller.on_suffix_depleted(position)
                 position -= 1
                 continue
+            self.depleted_from = None
             binding[self.order[position]] = row
+            if oracle is not None:
+                rid_iterator = rid_iterators[position]
+                assert rid_iterator is not None
+                rid_binding[self.order[position]] = next(rid_iterator)
             if position == last:
+                if limits is not None:
+                    limits.check_emit()
                 self.rows_emitted += 1
                 meter.charge_row_emitted()
+                if oracle is not None:
+                    oracle.record_emit(rid_binding)
                 yield self._projector(binding)
                 continue
             position += 1
-            iterators[position] = iter(
-                self.legs[self.order[position]].probe(binding)
-            )
+            leg = self.legs[self.order[position]]
+            iterators[position] = iter(leg.probe(binding))
+            if oracle is not None:
+                rid_iterators[position] = iter(leg.match_rids)
 
     def run_to_completion(self) -> list[tuple[Any, ...]]:
         """Execute and collect every result row."""

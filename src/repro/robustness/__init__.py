@@ -1,0 +1,46 @@
+"""Execution guardrails for the adaptive pipeline.
+
+The paper's headline guarantee is that mid-flight reordering is *safe*:
+inner-leg permutation only fires in depleted states (Sec 4.1) and
+driving-leg switches produce no duplicates by construction (Sec 4.2).
+This package makes that guarantee *demonstrable* and keeps the engine
+robust when components misbehave:
+
+* :mod:`~repro.robustness.faults` — deterministic, seedable fault
+  injection into storage access (index lookups, cursor advances, hash
+  probes) and the adaptive layer, plus retry-with-backoff for transient
+  faults;
+* :mod:`~repro.robustness.limits` — per-query execution budgets (rows,
+  work units, wall-clock deadline) and cooperative cancellation, enforced
+  at pipeline safe points;
+* :mod:`~repro.robustness.guard` — a sandbox around the adaptation
+  controller: an exception in the monitoring/decision layer degrades the
+  query to its current static order instead of aborting it;
+* :mod:`~repro.robustness.oracle` — debug-mode invariant checking: the
+  depleted-state precondition before every permutation, and RID-tuple
+  multiset tracking that catches duplicate or missing output rows across
+  driving switches.
+"""
+
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.robustness.guard import SandboxedController
+from repro.robustness.limits import CancellationToken, ExecutionLimits
+from repro.robustness.oracle import InvariantOracle
+
+__all__ = [
+    "CancellationToken",
+    "ExecutionLimits",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantOracle",
+    "RetryPolicy",
+    "SandboxedController",
+    "call_with_retry",
+]

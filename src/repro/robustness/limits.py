@@ -1,0 +1,130 @@
+"""Per-query execution budgets and cooperative cancellation.
+
+An :class:`ExecutionLimits` bundle caps what one query may consume: result
+rows, work units off the deterministic :class:`~repro.storage.counters`
+meter, wall-clock time, and an externally triggered
+:class:`CancellationToken`. The pipeline executor checks the bundle at its
+safe points — before each driving row and after each emitted row — and
+raises :class:`~repro.errors.BudgetExceeded` carrying partial-progress
+stats when any cap is hit.
+
+Checking at safe points (rather than inside probes) keeps the hot path
+unchanged and guarantees the pipeline state is consistent when the
+exception unwinds, so a caller can still read the executor's counters and
+event log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import BudgetExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.pipeline import PipelineExecutor
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation flag.
+
+    A client (timeout thread, signal handler, admission controller) calls
+    :meth:`cancel`; the executor observes it at the next safe point.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = "cancelled"
+
+    def cancel(self, reason: str | None = None) -> None:
+        if reason is not None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Budgets for one query execution; ``None`` fields are unlimited."""
+
+    max_rows: int | None = None
+    max_work_units: float | None = None
+    timeout_seconds: float | None = None
+    cancellation: CancellationToken | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_rows is not None and self.max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        if self.max_work_units is not None and self.max_work_units <= 0:
+            raise ValueError("max_work_units must be > 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_rows is None
+            and self.max_work_units is None
+            and self.timeout_seconds is None
+            and self.cancellation is None
+        )
+
+
+class LimitEnforcer:
+    """Binds an :class:`ExecutionLimits` to one running pipeline."""
+
+    def __init__(self, limits: ExecutionLimits, pipeline: "PipelineExecutor") -> None:
+        self.limits = limits
+        self.pipeline = pipeline
+        self._started_at = time.perf_counter()
+        self._work_floor = pipeline.catalog.meter.total_units
+        self._deadline = (
+            self._started_at + limits.timeout_seconds
+            if limits.timeout_seconds is not None
+            else None
+        )
+
+    def _exceeded(self, reason: str) -> BudgetExceeded:
+        pipeline = self.pipeline
+        return BudgetExceeded(
+            reason,
+            rows_emitted=pipeline.rows_emitted,
+            work_units=pipeline.catalog.meter.total_units - self._work_floor,
+            elapsed_seconds=time.perf_counter() - self._started_at,
+            driving_rows=pipeline.driving_rows_total,
+        )
+
+    def check_emit(self) -> None:
+        """Safe point before emitting one more row.
+
+        Called *before* the emit counters move, so when the row budget is
+        exactly ``max_rows`` the caller receives precisely that many rows
+        and the exception's partial-progress stats match what was
+        delivered.
+        """
+        max_rows = self.limits.max_rows
+        if max_rows is not None and self.pipeline.rows_emitted >= max_rows:
+            raise self._exceeded(f"row budget exceeded ({max_rows} rows)")
+        self.check()
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if any budget is spent."""
+        limits = self.limits
+        token = limits.cancellation
+        if token is not None and token.cancelled:
+            raise self._exceeded(f"query cancelled: {token.reason}")
+        if limits.max_work_units is not None:
+            spent = self.pipeline.catalog.meter.total_units - self._work_floor
+            if spent > limits.max_work_units:
+                raise self._exceeded(
+                    f"work budget exceeded ({limits.max_work_units:,.0f} units)"
+                )
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise self._exceeded(
+                f"deadline exceeded ({limits.timeout_seconds * 1000:.0f} ms)"
+            )

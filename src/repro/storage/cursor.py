@@ -109,6 +109,11 @@ class TableScanCursor:
         return self
 
     def __next__(self) -> tuple[int, Row]:
+        faults = self.table.faults
+        if faults is not None:
+            # Before any cursor state changes: a transient fault here is
+            # retryable by simply calling __next__ again.
+            faults.fire("cursor-advance")
         if self._next_rid >= len(self.table):
             self.exhausted = True
             raise StopIteration
@@ -165,6 +170,11 @@ class IndexScanCursor:
         return self
 
     def __next__(self) -> tuple[int, Row]:
+        faults = self.index.table.faults
+        if faults is not None:
+            # Fired before self._iterator is touched, so the underlying
+            # range generator survives and the advance can be retried.
+            faults.fire("cursor-advance")
         if self._pending is not None:
             key, rid = self._pending
             self._pending = None

@@ -85,6 +85,11 @@ class SortedIndex:
     # ------------------------------------------------------------------
     def lookup_rids(self, key: Any) -> list[int]:
         """Return RIDs whose indexed column equals *key*, charging work."""
+        faults = self.table.faults
+        if faults is not None:
+            # Consulted before any charge or state change, so a transient
+            # fault leaves the lookup safely retryable.
+            faults.fire("index-lookup")
         self._check_fresh()
         self.meter.charge_index_descend()
         if key is None:

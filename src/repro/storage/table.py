@@ -24,6 +24,10 @@ class HeapTable:
         self.schema = schema
         self._rows: list[Row] = []
         self.meter = meter if meter is not None else WorkMeter()
+        # Fault-injection hook (repro.robustness.faults.FaultInjector) shared
+        # by every table of a catalog during a chaos run; None in production.
+        # Indexes and cursors consult it through their table reference.
+        self.faults = None
 
     @property
     def name(self) -> str:

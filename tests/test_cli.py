@@ -65,6 +65,80 @@ class TestCommands:
         assert "PipelinePlan" in out
         assert "adaptive:" not in out
 
+    def test_query_max_rows_budget(self, capsys):
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--mode",
+                "none",
+                "--max-rows",
+                "2",
+                "SELECT o.name FROM Owner o WHERE o.country3 = 'DE'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget exceeded" in out
+        assert "2 row(s)" in out
+
+    def test_query_fault_plan_degrades(self, capsys):
+        plan = (
+            '{"seed": 7, "faults": [{"site": "controller", '
+            '"kind": "permanent", "nth_call": 1}]}'
+        )
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--fault-plan",
+                plan,
+                "SELECT o.name, c.make FROM Owner o, Car c "
+                "WHERE c.ownerid = o.id AND o.country3 = 'DE'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results match" in out
+        assert "DEGRADED" in out
+        assert "[degraded]" in out
+
+    def test_query_rejects_invalid_limits(self, capsys):
+        code = main(
+            ["query", "--scale", "0.005", "--max-rows", "0", "SELECT 1"]
+        )
+        assert code == 2
+        assert "invalid limits" in capsys.readouterr().err
+
+    def test_query_fault_plan_rejects_garbage(self, capsys):
+        code = main(
+            ["query", "--scale", "0.005", "--fault-plan", "{broken", "SELECT 1"]
+        )
+        assert code == 2
+        assert "invalid --fault-plan" in capsys.readouterr().err
+
+    def test_query_fault_plan_from_file(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(
+            '{"faults": [{"site": "index-lookup", "kind": "transient", '
+            '"nth_call": 2}]}'
+        )
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--fault-plan",
+                str(plan_file),
+                "SELECT o.name, c.make FROM Owner o, Car c "
+                "WHERE c.ownerid = o.id AND o.country3 = 'DE'",
+            ]
+        )
+        assert code == 0
+        assert "results match" in capsys.readouterr().out
+
     def test_experiment_table1(self, capsys):
         assert main(["experiment", "table1", "--scale", "0.005"]) == 0
         assert "Table 1" in capsys.readouterr().out

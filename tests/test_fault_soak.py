@@ -1,0 +1,153 @@
+"""Randomized fault soak: adaptation + injected faults never corrupt results.
+
+The acceptance harness for the robustness layer. Over 20 (seed, fault-plan)
+combinations and 3 DMV query templates it asserts, for every adaptive mode:
+
+* the result multiset is identical to the ``ReorderMode.NONE`` baseline —
+  transient storage faults are retried transparently and adaptation never
+  duplicates or drops rows;
+* an injected exception inside the controller or monitor never aborts the
+  query — it records a ``DEGRADED`` event and the query still answers
+  correctly from its static order.
+
+A final sentinel test checks the soak was not vacuous: faults actually
+fired, degraded events were actually produced, and adaptation actually
+reordered something somewhere.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.core.events import EventKind
+from repro.dmv import four_table_workload, load_dmv
+from repro.robustness.faults import FaultPlan, FaultSpec
+
+SEEDS = (101, 202, 303, 404)
+
+# Five fault-plan shapes x four seeds = 20 (seed, fault-plan) combinations.
+# Execution sites get *transient* faults (the retry layer must absorb
+# them); the controller/monitor sites get *permanent* faults (the sandbox
+# must absorb those instead).
+PLAN_SHAPES = {
+    "nth-storage": (
+        FaultSpec(site="index-lookup", kind="transient", nth_call=3),
+        FaultSpec(site="cursor-advance", kind="transient", nth_call=7),
+    ),
+    "random-storage": (
+        FaultSpec(site="index-lookup", kind="transient", probability=0.01),
+        FaultSpec(site="cursor-advance", kind="transient", probability=0.005),
+    ),
+    "controller-dead": (
+        FaultSpec(site="controller", kind="permanent", nth_call=1),
+    ),
+    "monitor-dead": (
+        FaultSpec(site="monitor", kind="permanent", nth_call=1),
+        FaultSpec(site="index-lookup", kind="transient", nth_call=5),
+    ),
+    "mixed-chaos": (
+        FaultSpec(site="cursor-advance", kind="transient", probability=0.01),
+        FaultSpec(site="controller", kind="permanent", nth_call=2),
+    ),
+}
+
+COMBOS = [
+    (seed, shape) for seed in SEEDS for shape in PLAN_SHAPES
+]  # 20 combinations
+
+ADAPTIVE_MODES = (
+    ReorderMode.INNER_ONLY,
+    ReorderMode.DRIVING_ONLY,
+    ReorderMode.BOTH,
+)
+
+# Check aggressively so adaptation (and therefore the controller fault
+# sites) actually exercises during these small-scale queries.
+def _config(mode: ReorderMode) -> AdaptiveConfig:
+    return AdaptiveConfig(
+        mode=mode, check_frequency=2, switch_benefit_threshold=0.0
+    )
+
+
+# Aggregate evidence that the soak exercised what it claims to exercise.
+_TOTALS = {"fired": 0, "degraded": 0, "switches": 0, "runs": 0}
+_REFERENCES: dict[str, Counter] = {}
+
+
+@pytest.fixture(scope="module")
+def dmv():
+    db, _ = load_dmv(scale=0.01, seed=20070426)
+    return db
+
+
+def _queries(seed: int) -> list[str]:
+    """One query each from three distinct DMV templates, varied by seed."""
+    workload = four_table_workload(queries_per_template=1, seed=seed)
+    chosen = {}
+    for query in workload:
+        if query.template in (1, 3, 5) and query.template not in chosen:
+            chosen[query.template] = query.sql
+    assert len(chosen) == 3
+    return [chosen[template] for template in sorted(chosen)]
+
+
+def _reference(db, sql: str) -> Counter:
+    if sql not in _REFERENCES:
+        baseline = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE))
+        _REFERENCES[sql] = Counter(baseline.rows)
+    return _REFERENCES[sql]
+
+
+@pytest.mark.parametrize(("seed", "shape"), COMBOS)
+def test_soak_combo(dmv, seed, shape):
+    plan = FaultPlan(specs=PLAN_SHAPES[shape], seed=seed)
+    for sql in _queries(seed):
+        reference = _reference(dmv, sql)
+        for mode in ADAPTIVE_MODES:
+            injector = plan.build()
+            result = dmv.execute(sql, _config(mode), fault_plan=injector)
+            assert Counter(result.rows) == reference, (
+                f"result multiset diverged from ReorderMode.NONE "
+                f"(seed={seed}, plan={shape}, mode={mode.value})"
+            )
+            if injector.fired["controller"]:
+                # A controller failure must degrade, never abort.
+                assert result.stats.degraded
+            degraded = [
+                event
+                for event in result.stats.events
+                if event.kind is EventKind.DEGRADED
+            ]
+            for event in degraded:
+                assert event.reason  # always explains itself
+            _TOTALS["fired"] += injector.total_fired
+            _TOTALS["degraded"] += len(degraded)
+            _TOTALS["switches"] += result.stats.total_switches
+            _TOTALS["runs"] += 1
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_soak_oracle_cross_check(dmv, seed):
+    """Debug-mode oracle agrees: RID-tuple multisets match the baseline."""
+    plan = FaultPlan(specs=PLAN_SHAPES["mixed-chaos"], seed=seed)
+    for sql in _queries(seed):
+        baseline = dmv.execute(
+            sql, AdaptiveConfig(mode=ReorderMode.NONE), oracle=True
+        )
+        chaotic = dmv.execute(
+            sql,
+            _config(ReorderMode.BOTH),
+            fault_plan=plan,
+            oracle=True,
+        )
+        assert chaotic.oracle.diff_against(baseline.oracle) is None
+        assert Counter(chaotic.rows) == Counter(baseline.rows)
+
+
+def test_soak_was_not_vacuous():
+    """Runs after the parametrized soak (pytest preserves file order)."""
+    assert _TOTALS["runs"] >= len(COMBOS) * 3 * 3
+    assert _TOTALS["fired"] > 0, "no injected fault ever fired"
+    assert _TOTALS["degraded"] > 0, "no controller/monitor failure degraded"
+    assert _TOTALS["switches"] > 0, "adaptation never reordered anything"

@@ -1,0 +1,204 @@
+"""Adaptation sandboxing and debug-mode invariant oracles."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import (
+    AdaptiveConfig,
+    ExecutionError,
+    OracleViolation,
+    PermanentStorageError,
+    ReorderMode,
+)
+from repro.core.events import EventKind
+from repro.executor.pipeline import PipelineExecutor
+from repro.robustness.faults import FaultPlan, FaultSpec
+from repro.robustness.guard import SandboxedController, describe_failure
+from repro.robustness.oracle import InvariantOracle
+
+from tests.conftest import build_three_table_db
+
+SQL = (
+    "SELECT o.name, c.make, d.salary FROM Owner o, Car c, Demo d "
+    "WHERE c.ownerid = o.id AND d.ownerid = o.id AND o.country = 'DE'"
+)
+
+# Check aggressively so injected controller faults trigger early.
+AGGRESSIVE = AdaptiveConfig(mode=ReorderMode.BOTH, check_frequency=2)
+
+CONTROLLER_FAULT = FaultPlan(
+    specs=(FaultSpec(site="controller", kind="permanent", nth_call=1),),
+)
+
+
+def test_describe_failure_flattens_the_cause_chain():
+    try:
+        try:
+            raise ValueError("root")
+        except ValueError as exc:
+            raise RuntimeError("wrapper") from exc
+    except RuntimeError as exc:
+        text = describe_failure(exc)
+    assert text == "RuntimeError: wrapper <- ValueError: root"
+
+
+class TestSandbox:
+    def test_controller_fault_degrades_instead_of_aborting(self):
+        db = build_three_table_db()
+        reference = db.execute(SQL, AdaptiveConfig(mode=ReorderMode.NONE))
+        injector = CONTROLLER_FAULT.build()
+        result = db.execute(SQL, AGGRESSIVE, fault_plan=injector)
+        assert sorted(result.rows) == sorted(reference.rows)
+        assert injector.fired["controller"] == 1
+        assert result.stats.degraded
+        degraded = [
+            event
+            for event in result.stats.events
+            if event.kind is EventKind.DEGRADED
+        ]
+        assert len(degraded) == 1
+        # The reason carries both the controller context and the root fault.
+        assert "check failed" in degraded[0].reason
+        assert "injected permanent fault at 'controller'" in degraded[0].reason
+        assert "[degraded]" in degraded[0].describe()
+
+    def test_degraded_controller_stays_disabled(self):
+        db = build_three_table_db()
+        injector = CONTROLLER_FAULT.build()
+        result = db.execute(SQL, AGGRESSIVE, fault_plan=injector)
+        # After the first failure the sandbox stops calling the controller,
+        # so the (permanently armed) fault site is never consulted again
+        # and no further adaptation happens.
+        assert injector.fired["controller"] == 1
+        post_degrade = [
+            event
+            for event in result.stats.events
+            if event.kind is not EventKind.DEGRADED
+            and event.driving_rows_produced
+            > result.stats.events[-1].driving_rows_produced
+        ]
+        assert post_degrade == []
+
+    def test_sandbox_off_propagates_with_context(self):
+        db = build_three_table_db()
+        with pytest.raises(ExecutionError, match="check failed") as excinfo:
+            db.execute(
+                SQL, AGGRESSIVE, fault_plan=CONTROLLER_FAULT, sandbox=False
+            )
+        assert isinstance(excinfo.value.__cause__, PermanentStorageError)
+
+    def test_monitor_fault_degrades_monitoring_only(self):
+        db = build_three_table_db()
+        reference = db.execute(SQL, AdaptiveConfig(mode=ReorderMode.NONE))
+        injector = FaultPlan(
+            specs=(FaultSpec(site="monitor", kind="permanent", nth_call=1),),
+        ).build()
+        result = db.execute(SQL, AGGRESSIVE, fault_plan=injector)
+        assert sorted(result.rows) == sorted(reference.rows)
+        assert injector.fired["monitor"] == 1
+        reasons = [
+            event.reason
+            for event in result.stats.events
+            if event.kind is EventKind.DEGRADED
+        ]
+        assert any("monitor failure on leg" in reason for reason in reasons)
+
+    def test_mid_mutation_failure_is_not_absorbed(self):
+        class _Saboteur:
+            """Mutates the pipeline order and then dies mid-hook."""
+
+            inner_checks = 0
+            driving_checks = 0
+
+            def attach(self, pipeline):
+                self.pipeline = pipeline
+
+            def on_suffix_depleted(self, position):
+                self.pipeline.order.reverse()
+                raise RuntimeError("boom after mutation")
+
+            def on_pipeline_depleted(self):
+                return False
+
+        db = build_three_table_db()
+        plan = db.plan(SQL)
+        sandboxed = SandboxedController(_Saboteur())
+        executor = PipelineExecutor(plan, db.catalog, AGGRESSIVE, sandboxed)
+        sandboxed.attach(executor)
+        with pytest.raises(ExecutionError, match="mid-mutation") as excinfo:
+            executor.run_to_completion()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+class TestOracleUnits:
+    def test_duplicate_rid_tuple_raises(self):
+        oracle = InvariantOracle()
+        oracle.record_emit({"o": 1, "c": 7})
+        oracle.record_emit({"o": 1, "c": 8})
+        with pytest.raises(OracleViolation, match="duplicate output row"):
+            oracle.record_emit({"c": 7, "o": 1})  # order-insensitive
+
+    def test_diff_against(self):
+        left, right = InvariantOracle(), InvariantOracle()
+        left.record_emit({"o": 1})
+        right.record_emit({"o": 1})
+        assert left.diff_against(right) is None
+        left.record_emit({"o": 2})
+        right.record_emit({"o": 3})
+        diff = left.diff_against(right)
+        assert "1 unexpected row(s)" in diff
+        assert "1 missing row(s)" in diff
+
+    def test_inner_reorder_requires_depleted_suffix(self):
+        oracle = InvariantOracle()
+        pipeline = SimpleNamespace(depleted_from=None)
+        with pytest.raises(OracleViolation, match="outside a depleted state"):
+            oracle.check_inner_reorder(pipeline, 1, ["c", "d"])
+        pipeline.depleted_from = 2
+        with pytest.raises(OracleViolation, match="outside a depleted state"):
+            oracle.check_inner_reorder(pipeline, 1, ["c", "d"])
+        oracle.check_inner_reorder(
+            SimpleNamespace(depleted_from=1), 1, ["c", "d"]
+        )
+        with pytest.raises(OracleViolation, match="driving leg"):
+            oracle.check_inner_reorder(
+                SimpleNamespace(depleted_from=0), 0, ["c", "d"]
+            )
+
+    def test_driving_switch_requires_fully_depleted_pipeline(self):
+        oracle = InvariantOracle()
+        with pytest.raises(OracleViolation, match="not fully depleted"):
+            oracle.check_driving_switch(SimpleNamespace(depleted_from=1))
+        oracle.check_driving_switch(SimpleNamespace(depleted_from=0))
+        assert oracle.driving_switches_checked == 2
+
+
+class TestOracleEndToEnd:
+    def test_adaptive_run_matches_static_rid_multiset(self):
+        db = build_three_table_db()
+        reference = db.execute(
+            SQL, AdaptiveConfig(mode=ReorderMode.NONE), oracle=True
+        )
+        adaptive = db.execute(SQL, AGGRESSIVE, oracle=True)
+        assert adaptive.oracle is not None
+        assert adaptive.oracle.emits == len(adaptive.rows)
+        assert adaptive.oracle.diff_against(reference.oracle) is None
+
+    def test_oracle_checks_every_applied_mutation(self):
+        db = build_three_table_db()
+        result = db.execute(SQL, AGGRESSIVE, oracle=True)
+        oracle = result.oracle
+        assert oracle.inner_reorders_checked == result.stats.inner_reorders
+        assert oracle.driving_switches_checked == result.stats.driving_switches
+
+    def test_oracle_and_sandbox_compose(self):
+        db = build_three_table_db()
+        reference = db.execute(
+            SQL, AdaptiveConfig(mode=ReorderMode.NONE), oracle=True
+        )
+        result = db.execute(
+            SQL, AGGRESSIVE, fault_plan=CONTROLLER_FAULT, oracle=True
+        )
+        assert result.stats.degraded
+        assert result.oracle.diff_against(reference.oracle) is None
