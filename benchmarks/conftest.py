@@ -32,10 +32,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def emit_report(name: str, text: str) -> None:
-    """Print a report and persist it under benchmarks/results/."""
+    """Print a report and persist it under benchmarks/results/.
+
+    Writes through a temp file + ``os.replace`` so a run killed mid-write
+    never leaves a truncated report behind.
+    """
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    target = RESULTS_DIR / f"{name}.txt"
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text + "\n")
+        os.replace(tmp, target)
+    except BaseException:
+        if tmp.exists():
+            tmp.unlink()
+        raise
 
 
 @pytest.fixture(scope="session")

@@ -25,6 +25,13 @@ from repro.core.config import (
     ReorderMode,
 )
 from repro.db import Database, ExecutionStats, QueryResult
+from repro.obs import (
+    EstimateSampler,
+    MetricsRegistry,
+    QueryObservability,
+    Tracer,
+    render_explain_analyze,
+)
 from repro.errors import (
     BudgetExceeded,
     CatalogError,
@@ -56,9 +63,13 @@ __all__ = [
     "CancellationToken",
     "CatalogError",
     "Database",
+    "EstimateSampler",
     "ExecutionError",
     "ExecutionLimits",
     "ExecutionStats",
+    "MetricsRegistry",
+    "QueryObservability",
+    "Tracer",
     "FaultPlan",
     "FaultSpec",
     "HashProbePolicy",
@@ -77,5 +88,6 @@ __all__ = [
     "StorageError",
     "TransientStorageError",
     "parse_sql",
+    "render_explain_analyze",
     "__version__",
 ]

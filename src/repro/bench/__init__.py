@@ -18,18 +18,22 @@ from repro.bench.experiments import (
 from repro.bench.reporting import (
     format_scatter_summary,
     format_table,
+    format_workload_metrics,
     to_csv,
     write_csv,
 )
 from repro.bench.runner import (
+    WORK_BUCKETS,
     QueryMeasurement,
     WorkloadResult,
     run_workload,
     standard_configs,
+    write_json_atomic,
 )
 
 __all__ = [
     "PAPER_TABLE1",
+    "WORK_BUCKETS",
     "AblationResult",
     "OverheadResult",
     "QueryMeasurement",
@@ -41,6 +45,7 @@ __all__ = [
     "ablation_experiment",
     "format_scatter_summary",
     "format_table",
+    "format_workload_metrics",
     "overhead_experiment",
     "run_workload",
     "scatter_experiment",
@@ -50,4 +55,5 @@ __all__ = [
     "to_csv",
     "window_sweep_experiment",
     "write_csv",
+    "write_json_atomic",
 ]

@@ -286,10 +286,11 @@ def window_sweep_experiment(
         result = run_workload(
             db, workload, {"both": config}, verify_against=None
         )
-        measurements = result.by_mode("both").values()
-        count = max(len(measurements), 1)
-        avg_switches = sum(m.total_switches for m in measurements) / count
-        avg_work = sum(m.work for m in measurements) / count
+        # Totals come straight off the run's metrics registry.
+        metrics = result.metrics
+        count = max(metrics.counter("bench_queries_total").value("both"), 1.0)
+        avg_switches = metrics.counter("bench_switches_total").value("both") / count
+        avg_work = metrics.counter("bench_work_units_total").value("both") / count
         series[window] = (avg_switches, avg_work)
     return WindowSweepResult(series=series)
 
@@ -333,11 +334,10 @@ def ablation_experiment(
     Result correctness of every variant is verified against *baseline*.
     """
     result = run_workload(db, workload, dict(variants), verify_against=baseline)
+    # Totals come straight off the run's metrics registry.
+    work = result.metrics.counter("bench_work_units_total")
+    switches = result.metrics.counter("bench_switches_total")
     series: dict[str, tuple[float, int]] = {}
     for mode in result.modes():
-        measurements = result.by_mode(mode).values()
-        series[mode] = (
-            sum(m.work for m in measurements),
-            sum(m.total_switches for m in measurements),
-        )
+        series[mode] = (work.value(mode), int(switches.value(mode)))
     return AblationResult(series=series, baseline=baseline)

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Any, Sequence
+import os
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 def format_table(
@@ -83,7 +87,57 @@ def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
 def write_csv(
     path: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
 ) -> None:
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def format_workload_metrics(registry: "MetricsRegistry") -> str:
+    """Per-mode rollup table straight off a workload's metrics registry.
+
+    Consumes the ``bench_*`` series :class:`~repro.bench.runner.WorkloadResult`
+    accumulates, so experiment reports don't re-derive totals from the raw
+    measurement list.
+    """
+    queries = registry.get("bench_queries_total")
+    if queries is None or not queries.total:
+        return "(no workload metrics recorded)"
+
+    def series(name: str) -> dict[str, float]:
+        metric = registry.get(name)
+        return metric.as_dict() if metric is not None else {}
+
+    work = series("bench_work_units_total")
+    adaptation = series("bench_adaptation_work_units_total")
+    switches = series("bench_switches_total")
+    changed = series("bench_order_changed_total")
+    rows = []
+    for mode, count in queries.items():
+        total_work = work.get(mode, 0.0)
+        rows.append(
+            [
+                mode,
+                int(count),
+                total_work,
+                adaptation.get(mode, 0.0),
+                (100.0 * adaptation.get(mode, 0.0) / total_work)
+                if total_work
+                else 0.0,
+                int(switches.get(mode, 0)),
+                int(changed.get(mode, 0)),
+            ]
+        )
+    return format_table(
+        ["mode", "queries", "work units", "adaptation", "adapt %",
+         "switches", "order changed"],
+        rows,
+        title="workload metrics (per mode):",
+    )

@@ -7,12 +7,40 @@ secondary metric. One :class:`QueryMeasurement` per (query, mode).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping
 
 from repro.core.config import AdaptiveConfig, ReorderMode
 from repro.db import Database
 from repro.dmv.templates import WorkloadQuery
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram buckets for per-query work units, spanning the DMV scales
+#: the experiments run at (hundreds of units at scale 0.005, millions at 1.0).
+WORK_BUCKETS = (
+    100.0, 500.0, 1_000.0, 5_000.0, 10_000.0,
+    50_000.0, 100_000.0, 500_000.0, 1_000_000.0,
+)
+
+
+def write_json_atomic(path: str, payload: Any) -> None:
+    """Write *payload* as JSON via a temp file + ``os.replace``.
+
+    A crash mid-write leaves either the old file or nothing — never a
+    truncated JSON document that a later analysis run would choke on.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 @dataclass(frozen=True)
@@ -35,15 +63,45 @@ class QueryMeasurement:
     def total_switches(self) -> int:
         return self.inner_reorders + self.driving_switches
 
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
 
 @dataclass
 class WorkloadResult:
     """All measurements for one workload run, indexed by (qid, mode)."""
 
     measurements: list[QueryMeasurement] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def add(self, measurement: QueryMeasurement) -> None:
         self.measurements.append(measurement)
+        self._record(measurement)
+
+    def _record(self, m: QueryMeasurement) -> None:
+        metrics = self.metrics
+        metrics.counter(
+            "bench_queries_total", "query executions by mode"
+        ).inc(m.mode)
+        metrics.counter(
+            "bench_work_units_total", "total work units by mode"
+        ).inc(m.mode, m.work)
+        metrics.counter(
+            "bench_adaptation_work_units_total", "adaptation work units by mode"
+        ).inc(m.mode, m.adaptation_work)
+        metrics.counter(
+            "bench_switches_total", "applied reorders/switches by mode"
+        ).inc(m.mode, m.total_switches)
+        if m.order_changed:
+            metrics.counter(
+                "bench_order_changed_total",
+                "queries finishing on a different order, by mode",
+            ).inc(m.mode)
+        metrics.histogram(
+            "bench_query_work_units",
+            WORK_BUCKETS,
+            "per-query work-unit distribution by mode",
+        ).observe(m.work, label=m.mode)
 
     def by_mode(self, mode: str) -> dict[str, QueryMeasurement]:
         return {m.qid: m for m in self.measurements if m.mode == mode}
@@ -57,6 +115,16 @@ class WorkloadResult:
 
     def templates(self) -> list[int]:
         return sorted({m.template for m in self.measurements})
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready snapshot: every measurement plus the rolled-up registry."""
+        return {
+            "measurements": [m.as_dict() for m in self.measurements],
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def save_json(self, path: str) -> None:
+        write_json_atomic(path, self.to_payload())
 
 
 def standard_configs(

@@ -33,6 +33,7 @@ from repro.core.config import AdaptiveConfig, ReorderMode
 from repro.db import Database
 from repro.dmv import four_table_workload, load_dmv, six_table_workload
 from repro.errors import BudgetExceeded, ReproError
+from repro.obs import QueryObservability, render_explain_analyze
 from repro.robustness.faults import FaultPlan
 from repro.robustness.limits import ExecutionLimits
 
@@ -74,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--explain", action="store_true", help="print the static plan"
+    )
+    query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="run once under --mode with full observability and print the "
+        "EXPLAIN ANALYZE report (per-leg actuals vs. estimates, adaptation "
+        "timeline, work breakdown)",
+    )
+    query.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL span trace of the run to FILE",
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the run",
     )
     query.add_argument(
         "--max-rows",
@@ -182,6 +201,53 @@ def _run_query(
                 print(f"  {event.describe()}")
 
 
+def _run_observed_query(
+    db: Database,
+    sql: str,
+    mode: ReorderMode,
+    args,
+    limits: ExecutionLimits | None,
+    fault_plan: FaultPlan | None,
+) -> int:
+    """One observed execution: --explain-analyze / --trace / --metrics."""
+    config = AdaptiveConfig(mode=mode)
+    obs = QueryObservability.armed(sample_every=config.check_frequency)
+
+    def dump_trace() -> None:
+        if args.trace and obs.tracer is not None:
+            obs.tracer.write_jsonl(args.trace)
+            print(
+                f"trace: {len(obs.tracer.spans)} span(s) written to {args.trace}",
+                file=sys.stderr,
+            )
+
+    try:
+        result = db.execute(
+            sql, config, limits=limits, fault_plan=fault_plan, obs=obs
+        )
+    except BudgetExceeded as error:
+        print(f"budget exceeded — {error.progress_summary()}")
+        dump_trace()
+        return 0
+    if args.explain_analyze:
+        print(render_explain_analyze(result, limits))
+    else:
+        for row in result.rows[:25]:
+            print(row)
+        if len(result.rows) > 25:
+            print(f"... ({len(result.rows)} rows total)")
+        print(
+            f"\n{result.stats.total_work:,.0f} work units "
+            f"({result.stats.wall_seconds * 1000:.1f} ms), "
+            f"{result.stats.total_switches} switch(es)"
+        )
+    if args.metrics and result.metrics is not None:
+        print("\nmetrics:")
+        print(result.metrics.render())
+    dump_trace()
+    return 0
+
+
 def cmd_generate(args) -> int:
     _, summary = load_dmv(scale=args.scale, seed=args.seed, extended=args.extended)
     print(table1_experiment(summary, args.scale).report())
@@ -209,6 +275,18 @@ def cmd_query(args) -> int:
             print(f"error: invalid limits: {error}", file=sys.stderr)
             return 2
     db = _load(args)
+    if args.explain_analyze or args.trace or args.metrics:
+        if args.explain:
+            print(db.explain(args.sql))
+            print()
+        return _run_observed_query(
+            db,
+            args.sql,
+            ReorderMode(args.mode),
+            args,
+            limits=limits,
+            fault_plan=fault_plan,
+        )
     _run_query(
         db,
         args.sql,

@@ -82,10 +82,17 @@ class AdaptationController:
             new_suffix = decide_inner_order(
                 pipeline, provider, position, config.inner_policy
             )
+            if pipeline.obs is not None:
+                pipeline.obs.on_check(
+                    "inner",
+                    applied=new_suffix is not None,
+                    driving_rows=pipeline.driving_rows_total,
+                    position=position,
+                )
             if new_suffix is not None:
                 old_order = tuple(pipeline.order)
                 new_order = tuple(pipeline.order[:position]) + tuple(new_suffix)
-                pipeline.events.append(
+                pipeline.record_event(
                     AdaptationEvent(
                         kind=EventKind.INNER_REORDER,
                         driving_rows_produced=pipeline.driving_rows_total,
@@ -142,10 +149,16 @@ class AdaptationController:
             self._builder.refresh_join_selectivities()
             provider = self._builder.build_provider()
             new_order = decide_driving_switch(pipeline, provider, config)
+            if pipeline.obs is not None:
+                pipeline.obs.on_check(
+                    "driving",
+                    applied=new_order is not None,
+                    driving_rows=pipeline.driving_rows_total,
+                )
             if new_order is None:
                 return False
             old_order = tuple(pipeline.order)
-            pipeline.events.append(
+            pipeline.record_event(
                 AdaptationEvent(
                     kind=EventKind.DRIVING_SWITCH,
                     driving_rows_produced=pipeline.driving_rows_total,

@@ -46,10 +46,15 @@ class AdaptationEvent:
 
     @property
     def estimated_benefit(self) -> float:
-        """Fraction of the current plan's remaining cost the switch saves."""
+        """Fraction of the current plan's remaining cost the switch saves.
+
+        Clamped to ``[0, 1]``: a decision whose new plan was estimated
+        *costlier* (possible when hysteresis or key-boundary constraints
+        forced a switch anyway) reports 0.0 benefit, not a negative one.
+        """
         if self.estimated_current_cost <= 0:
             return 0.0
-        return 1.0 - self.estimated_new_cost / self.estimated_current_cost
+        return max(0.0, 1.0 - self.estimated_new_cost / self.estimated_current_cost)
 
     def describe(self) -> str:
         if self.kind is EventKind.DEGRADED:

@@ -31,6 +31,11 @@ from repro.core.events import EventKind
 from repro.errors import SchemaError
 from repro.executor.pipeline import PipelineExecutor
 from repro.executor.postprocess import PostProcessor
+from repro.obs.explain import render_explain_analyze
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import QueryObservability
+from repro.obs.timeseries import EstimateSample
+from repro.obs.trace import Tracer
 from repro.optimizer.optimizer import StaticOptimizer
 from repro.optimizer.plans import PipelinePlan
 from repro.query.query import QuerySpec
@@ -121,6 +126,12 @@ class QueryResult:
     # The invariant oracle that shadowed this execution (debug mode only);
     # its RID-tuple multiset supports exact duplicate/missing comparisons.
     oracle: InvariantOracle | None = None
+    # Observability artifacts (populated only when ``execute(obs=...)`` armed
+    # them): the span trace, the metrics registry, and the time series of
+    # monitor-estimate samples.
+    trace: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+    samples: tuple[EstimateSample, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -171,36 +182,24 @@ class Database:
         self,
         query: str | QuerySpec | PipelinePlan,
         config: AdaptiveConfig | None = None,
+        *,
+        limits: ExecutionLimits | None = None,
+        obs: QueryObservability | None = None,
     ) -> str:
         """Run *query* and report what the adaptive run time actually did.
 
-        The report combines the optimizer's plan, the execution totals, and
-        the adaptation event log (each applied reorder/switch with the
-        cost-model estimates that justified it) — the run-time analogue of
-        EXPLAIN ANALYZE.
+        Arms full observability (tracer + metrics + estimate sampler) for
+        the execution and renders the
+        :func:`~repro.obs.explain.render_explain_analyze` report: the
+        optimizer's plan, per-leg actual row flow vs. the optimizer's and
+        monitors' estimates, the adaptation-event timeline, the work-unit
+        breakdown, and budget/fault summaries.
         """
-        result = self.execute(query, config)
-        stats = result.stats
-        lines = [result.plan.explain(), ""]
-        lines.append(
-            f"executed: {len(result.rows)} row(s), "
-            f"{stats.total_work:,.0f} work units "
-            f"({stats.execution_work:,.0f} execution + "
-            f"{stats.adaptation_work:,.0f} adaptation), "
-            f"{stats.wall_seconds * 1000:.1f} ms"
-        )
-        lines.append(
-            f"checks: {stats.inner_checks} inner, {stats.driving_checks} driving; "
-            f"switches: {stats.inner_reorders} inner, "
-            f"{stats.driving_switches} driving"
-        )
-        if stats.events:
-            lines.append("adaptation events:")
-            lines.extend(f"  {event.describe()}" for event in stats.events)
-        else:
-            lines.append("adaptation events: none (the initial order held)")
-        lines.append(f"final order: {', '.join(result.final_order)}")
-        return "\n".join(lines)
+        if obs is None:
+            check = (config or AdaptiveConfig()).check_frequency
+            obs = QueryObservability.armed(sample_every=check)
+        result = self.execute(query, config, limits=limits, obs=obs)
+        return render_explain_analyze(result, limits)
 
     def execute(
         self,
@@ -211,6 +210,7 @@ class Database:
         fault_plan: FaultPlan | FaultInjector | None = None,
         oracle: InvariantOracle | bool | None = None,
         sandbox: bool = True,
+        obs: QueryObservability | bool | None = None,
     ) -> QueryResult:
         """Run *query* under the given adaptive configuration.
 
@@ -235,13 +235,78 @@ class Database:
           adaptive layer degrade the query to its current order (recorded
           as a ``DEGRADED`` event) instead of aborting it; pass False to
           let them propagate for debugging.
+
+        Observability:
+
+        * *obs* — ``True`` arms a full :class:`QueryObservability` bundle
+          (tracer + metrics registry + estimate sampler at the config's
+          check frequency); a pre-built bundle is used as-is. The trace,
+          registry, and samples come back on ``QueryResult.trace`` /
+          ``.metrics`` / ``.samples``. With *obs* unset the engine pays
+          one ``None`` check per instrumentation site and records nothing.
         """
-        if isinstance(query, PipelinePlan):
-            plan = query
-        else:
-            plan = self.plan(query)
         if config is None:
             config = AdaptiveConfig(mode=ReorderMode.BOTH)
+        if obs is True:
+            obs = QueryObservability.armed(sample_every=config.check_frequency)
+        elif obs is False:
+            obs = None
+        tracer = obs.tracer if obs is not None else None
+        query_span = (
+            tracer.begin(
+                "query",
+                kind="phase",
+                sql=query if isinstance(query, str) else None,
+                mode=config.mode.value,
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            if isinstance(query, PipelinePlan):
+                plan = query
+            else:
+                spec = query
+                if isinstance(query, str):
+                    if tracer is not None:
+                        with tracer.span("parse"):
+                            spec = self.parse(query)
+                    else:
+                        spec = self.parse(query)
+                if tracer is not None:
+                    with tracer.span("optimize") as span:
+                        plan = StaticOptimizer(self.catalog).optimize(spec)
+                        span.attrs["order"] = plan.order
+                        span.attrs["estimated_cost"] = plan.estimated_cost
+                else:
+                    plan = StaticOptimizer(self.catalog).optimize(spec)
+            return self._execute_plan(
+                plan,
+                config,
+                limits=limits,
+                fault_plan=fault_plan,
+                oracle=oracle,
+                sandbox=sandbox,
+                obs=obs,
+                query_span=query_span,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close_all()
+
+    def _execute_plan(
+        self,
+        plan: PipelinePlan,
+        config: AdaptiveConfig,
+        *,
+        limits: ExecutionLimits | None,
+        fault_plan: FaultPlan | FaultInjector | None,
+        oracle: InvariantOracle | bool | None,
+        sandbox: bool,
+        obs: QueryObservability | None,
+        query_span,
+    ) -> QueryResult:
+        tracer = obs.tracer if obs is not None else None
         controller = (
             AdaptationController(config) if config.mode.monitors else None
         )
@@ -252,7 +317,13 @@ class Database:
         elif oracle is False:
             oracle = None
         executor = PipelineExecutor(
-            plan, self.catalog, config, controller, limits=limits, oracle=oracle
+            plan,
+            self.catalog,
+            config,
+            controller,
+            limits=limits,
+            oracle=oracle,
+            obs=obs,
         )
         if controller is not None:
             controller.attach(executor)
@@ -262,6 +333,11 @@ class Database:
         elif fault_plan is not None:
             injector = fault_plan
         before = self.catalog.meter.snapshot()
+        execute_span = (
+            tracer.begin("execute", kind="phase", order=plan.order)
+            if tracer is not None
+            else None
+        )
         try:
             if injector is not None:
                 self.catalog.install_faults(injector)
@@ -269,10 +345,24 @@ class Database:
         finally:
             if injector is not None:
                 self.catalog.clear_faults()
+            if obs is not None:
+                obs.finish(executor)
+            if execute_span is not None:
+                tracer.end(
+                    execute_span,
+                    rows_emitted=executor.rows_emitted,
+                    driving_rows=executor.driving_rows_total,
+                    work_units=executor.work_units,
+                    final_order=tuple(executor.order),
+                )
         if plan.query.has_post_processing:
             # Blocking stage above the pipeline (aggregation / ORDER BY /
             # LIMIT, Sec 3.1); insensitive to run-time reordering.
-            rows = PostProcessor(plan.query, plan.projection).process(rows)
+            if tracer is not None:
+                with tracer.span("post-process"):
+                    rows = PostProcessor(plan.query, plan.projection).process(rows)
+            else:
+                rows = PostProcessor(plan.query, plan.projection).process(rows)
         stats = ExecutionStats(
             work=self.catalog.meter - before,
             wall_seconds=executor.wall_seconds,
@@ -283,10 +373,24 @@ class Database:
             order_history=tuple(executor.order_history),
             events=tuple(executor.events),
         )
+        if query_span is not None:
+            tracer.end(
+                query_span,
+                rows=len(rows),
+                work_units=stats.total_work,
+                switches=stats.total_switches,
+            )
         return QueryResult(
             rows=rows,
             stats=stats,
             plan=plan,
             final_order=tuple(executor.order),
             oracle=oracle,
+            trace=tracer,
+            metrics=obs.metrics if obs is not None else None,
+            samples=(
+                tuple(obs.sampler.samples)
+                if obs is not None and obs.sampler is not None
+                else ()
+            ),
         )

@@ -96,6 +96,9 @@ class RuntimeLeg:
         # (aligned with the returned rows) in self.match_rids.
         self.collect_rids = False
         self.match_rids: list[int] = []
+        # Observability bundle (set by the executor); every hook site below
+        # pays one None check when observability is off.
+        self.obs = None
         # Monitoring is advisory: if it raises, it is disabled for this leg
         # and the failure reported through degrade_hook (set by the
         # executor) instead of aborting the query.
@@ -201,7 +204,9 @@ class RuntimeLeg:
             hash_table = self._hash_table_for(config.hash_column)
             if faulty:
                 candidates = call_with_retry(
-                    lambda: hash_table.probe(key, meter), self.retry_policy
+                    lambda: hash_table.probe(key, meter),
+                    self.retry_policy,
+                    on_retry=self._retry_hook("hash-probe"),
                 )
             else:
                 candidates = hash_table.probe(key, meter)
@@ -212,7 +217,9 @@ class RuntimeLeg:
             index = config.access_index
             if faulty:
                 rids = call_with_retry(
-                    lambda: index.lookup_rids(key), self.retry_policy
+                    lambda: index.lookup_rids(key),
+                    self.retry_policy,
+                    on_retry=self._retry_hook("index-lookup"),
                 )
             else:
                 rids = index.lookup_rids(key)
@@ -242,7 +249,15 @@ class RuntimeLeg:
                 self.incoming_since_check += 1
             except Exception as exc:
                 self._degrade_monitoring(exc)
+        if self.obs is not None:
+            self.obs.on_probe(self.alias, index_matches, len(matches))
         return matches
+
+    def _retry_hook(self, site: str):
+        """Per-retry observability callback for a fault site (or None)."""
+        if self.obs is None:
+            return None
+        return lambda: self.obs.on_fault_retry(site)
 
     def _degrade_monitoring(self, exc: BaseException) -> None:
         """Disable this leg's monitoring after a failure inside it.
@@ -345,7 +360,9 @@ class RuntimeLeg:
                     # Cursor advances consult the fault injector before any
                     # state change, so transient faults are retryable.
                     _, row = call_with_retry(
-                        lambda: next(cursor), self.retry_policy
+                        lambda: next(cursor),
+                        self.retry_policy,
+                        on_retry=self._retry_hook("cursor-advance"),
                     )
                 else:
                     _, row = next(cursor)
@@ -359,6 +376,8 @@ class RuntimeLeg:
                     self.meter.charge_monitor_update()
                 except Exception as exc:
                     self._degrade_monitoring(exc)
+            if self.obs is not None:
+                self.obs.on_scan_row(self.alias, survived)
             if survived:
                 yield row
 

@@ -29,6 +29,7 @@ from repro.core.events import AdaptationEvent, EventKind
 from repro.core.positions import PositionRegistry
 from repro.errors import ExecutionError
 from repro.executor.access import Binding, Cursor, RuntimeLeg
+from repro.obs.observer import QueryObservability
 from repro.optimizer.plans import PipelinePlan
 from repro.robustness.guard import describe_failure
 from repro.robustness.limits import ExecutionLimits, LimitEnforcer
@@ -74,6 +75,7 @@ class PipelineExecutor:
         controller: AdaptationHooks | None = None,
         limits: ExecutionLimits | None = None,
         oracle: InvariantOracle | None = None,
+        obs: QueryObservability | None = None,
     ) -> None:
         self.plan = plan
         self.catalog = catalog
@@ -83,6 +85,7 @@ class PipelineExecutor:
         )
         self.limits = limits
         self.oracle = oracle
+        self.obs = obs
         monitoring = self.config.mode.monitors
         self.legs = {
             alias: RuntimeLeg(
@@ -96,6 +99,7 @@ class PipelineExecutor:
         }
         for leg in self.legs.values():
             leg.degrade_hook = self._record_monitor_degraded
+            leg.obs = obs
             if oracle is not None:
                 leg.collect_rids = True
         self.order: list[str] = list(plan.order)
@@ -125,6 +129,9 @@ class PipelineExecutor:
         self.order_history: list[tuple[str, ...]] = [tuple(self.order)]
         self.wall_seconds = 0.0
         self.work: WorkMeter | None = None  # this run's work delta
+        # Meter snapshot at execution start (set by rows()); lets the
+        # observability sampler attribute work units to points in time.
+        self.meter_before: WorkMeter | None = None
         self._started = False
         # Smallest pipeline position whose suffix is currently depleted
         # (0 = whole pipeline); None while a row is bound below the suffix.
@@ -189,6 +196,8 @@ class PipelineExecutor:
         self.driving_cursor = leg.open_driving_cursor(resume=resume)
         self._driving_iter = leg.driving_rows(self.driving_cursor)
         leg.positional = None  # the cursor position already excludes the past
+        if self.obs is not None:
+            self.obs.on_leg_open(alias, resume is not None)
 
     # ------------------------------------------------------------------
     # Mutation primitives used by the adaptation controller
@@ -246,11 +255,19 @@ class PipelineExecutor:
         self.driving_rows_since_check = 0
         self.order_history.append(tuple(self.order))
 
+    def record_event(self, event: AdaptationEvent) -> None:
+        """Append *event* to the log, notifying observability if armed."""
+        self.events.append(event)
+        if self.obs is not None:
+            self.obs.on_event(event)
+            if event.new_order != event.old_order:
+                self.obs.on_order_change(event.new_order)
+
     def _record_monitor_degraded(self, alias: str, exc: BaseException) -> None:
         """A leg's monitor failed; note it and keep executing (Sec 4.3 is
         advice, not execution — losing a monitor never loses rows)."""
         order = tuple(self.order)
-        self.events.append(
+        self.record_event(
             AdaptationEvent(
                 kind=EventKind.DEGRADED,
                 driving_rows_produced=self.driving_rows_total,
@@ -285,6 +302,7 @@ class PipelineExecutor:
             self._enforcer = LimitEnforcer(self.limits, self)
         started_at = time.perf_counter()
         before = self.catalog.meter.snapshot()
+        self.meter_before = before
         try:
             yield from self._run()
         finally:
@@ -310,6 +328,7 @@ class PipelineExecutor:
         meter = self.catalog.meter
         limits = self._enforcer
         oracle = self.oracle
+        obs = self.obs
         if leg_count == 1:
             only = self.order[0]
             assert self._driving_iter is not None
@@ -321,6 +340,9 @@ class PipelineExecutor:
                 meter.charge_row_emitted()
                 if oracle is not None:
                     oracle.record_emit({only: self._driving_rid()})
+                if obs is not None:
+                    obs.on_driving_row(self)
+                    obs.on_rows_emitted()
                 yield self._projector({only: row})
             return
 
@@ -353,6 +375,8 @@ class PipelineExecutor:
                 self.depleted_from = None
                 self.driving_rows_since_check += 1
                 self.driving_rows_total += 1
+                if obs is not None:
+                    obs.on_driving_row(self)
                 binding[self.order[0]] = row
                 if oracle is not None:
                     rid_binding[self.order[0]] = self._driving_rid()
@@ -368,6 +392,8 @@ class PipelineExecutor:
             if row is None:
                 # Legs at positions >= position are depleted (Sec 4.1).
                 self.depleted_from = position
+                if obs is not None:
+                    obs.on_suffix_depleted(position)
                 self.controller.on_suffix_depleted(position)
                 position -= 1
                 continue
@@ -384,6 +410,8 @@ class PipelineExecutor:
                 meter.charge_row_emitted()
                 if oracle is not None:
                     oracle.record_emit(rid_binding)
+                if obs is not None:
+                    obs.on_rows_emitted()
                 yield self._projector(binding)
                 continue
             position += 1

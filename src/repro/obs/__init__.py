@@ -1,0 +1,50 @@
+"""Observability for the adaptive executor: tracing, metrics, sampling.
+
+The subsystem is **nullable by default**: the engine carries one optional
+:class:`QueryObservability` reference and every instrumentation site costs
+a single ``is None`` check when observability is off. Nothing in this
+package ever charges the deterministic work meter — armed observability
+changes wall-clock time only, never work units or query results.
+
+Pieces (see each module's docstring for the full contract):
+
+* :mod:`repro.obs.trace` — structured spans (parse/optimize/execute,
+  leg opens, probe batches, reorder checks, adaptations) with JSONL and
+  tree rendering;
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  under Prometheus-style names;
+* :mod:`repro.obs.timeseries` — periodic snapshots of the monitors'
+  Eq (5-11) estimates for convergence analysis;
+* :mod:`repro.obs.observer` — the engine-facing bundle of all three;
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report renderer.
+"""
+
+from repro.obs.explain import render_explain_analyze
+from repro.obs.metrics import (
+    MATCH_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import QueryObservability
+from repro.obs.timeseries import EstimateSample, EstimateSampler
+from repro.obs.trace import JSONL_KEYS, SPAN_KINDS, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EstimateSample",
+    "EstimateSampler",
+    "Gauge",
+    "Histogram",
+    "JSONL_KEYS",
+    "MATCH_BUCKETS",
+    "MetricsRegistry",
+    "QueryObservability",
+    "RATIO_BUCKETS",
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "render_explain_analyze",
+]

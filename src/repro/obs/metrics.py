@@ -1,0 +1,230 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+The naming convention follows the Prometheus exposition style
+(``snake_case``, ``_total`` suffix for counters, one optional label per
+metric). Metrics are plain Python objects — there is no exporter process;
+the registry is attached to a :class:`~repro.db.QueryResult` (or a
+workload run) and rendered as text or dictionaries.
+
+Metric catalogue (what the engine records when a registry is armed):
+
+=================================  ======  ===========================================
+name                               type    meaning
+=================================  ======  ===========================================
+``query_rows_emitted_total``       counter rows the pipeline emitted (pre post-process)
+``driving_rows_total``             counter rows produced by the driving leg
+``leg_rows_in_total{leg}``         counter probe invocations (incoming outer rows)
+``leg_index_matches_total{leg}``   counter index/hash/scan candidates at the leg
+``leg_rows_out_total{leg}``        counter rows surviving all of the leg's predicates
+``scan_rows_total{leg}``           counter driving-scan rows fetched by the leg
+``scan_rows_survived_total{leg}``  counter driving-scan rows surviving residual locals
+``suffix_depletions_total{pos}``   counter depleted-state entries at pipeline position
+``reorder_checks_total{outcome}``  counter ``inner-reorder`` / ``inner-keep`` /
+                                           ``driving-switch`` / ``driving-keep``
+``adaptation_events_total{kind}``  counter applied events by kind (incl. ``degraded``)
+``fault_retries_total{site}``      counter transient-fault retries by injection site
+``leg_position{leg}``              gauge   the leg's current pipeline position (0=driving)
+``probe_index_matches{leg}``       histo   per-probe candidate counts (fan-out shape)
+``selectivity_error_ratio{leg}``   histo   measured Eq (7) selectivity / optimizer prior
+=================================  ======  ===========================================
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, Mapping
+
+#: Fan-out shaped buckets for per-probe index-match counts.
+MATCH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0)
+
+#: Ratio buckets for measured/estimated selectivity (1.0 = perfect prior).
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.8, 1.25, 2.0, 4.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing value, optionally split by one label."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[str, float] = {}
+
+    def inc(self, label: str = "", amount: float = 1.0) -> None:
+        self._values[label] = self._values.get(label, 0.0) + amount
+
+    def value(self, label: str = "") -> float:
+        return self._values.get(label, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(sorted(self._values.items()))
+
+
+class Gauge:
+    """A point-in-time value, optionally split by one label."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[str, float] = {}
+
+    def set(self, value: float, label: str = "") -> None:
+        self._values[label] = value
+
+    def value(self, label: str = "") -> float | None:
+        return self._values.get(label)
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(sorted(self._values.items()))
+
+
+class Histogram:
+    """Fixed-boundary cumulative-bucket histogram with one optional label.
+
+    ``boundaries`` are upper bounds of the finite buckets; one implicit
+    ``+Inf`` bucket is always appended, so every observation lands
+    somewhere and ``count`` equals the sum of bucket increments.
+    """
+
+    def __init__(
+        self, name: str, boundaries: tuple[float, ...], help: str = ""
+    ) -> None:
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram boundaries must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.boundaries = tuple(float(b) for b in boundaries)
+        # label -> [per-bucket counts..., +Inf bucket]
+        self._buckets: dict[str, list[int]] = {}
+        self._sums: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def observe(self, value: float, label: str = "") -> None:
+        buckets = self._buckets.get(label)
+        if buckets is None:
+            buckets = [0] * (len(self.boundaries) + 1)
+            self._buckets[label] = buckets
+        buckets[bisect_left(self.boundaries, value)] += 1
+        self._sums[label] = self._sums.get(label, 0.0) + value
+        self._counts[label] = self._counts.get(label, 0) + 1
+
+    def count(self, label: str = "") -> int:
+        return self._counts.get(label, 0)
+
+    def sum(self, label: str = "") -> float:
+        return self._sums.get(label, 0.0)
+
+    def mean(self, label: str = "") -> float | None:
+        count = self.count(label)
+        if count == 0:
+            return None
+        return self.sum(label) / count
+
+    def buckets(self, label: str = "") -> dict[str, int]:
+        """Bucket counts keyed by ``le`` upper bound (non-cumulative)."""
+        counts = self._buckets.get(label, [0] * (len(self.boundaries) + 1))
+        keys = [f"{b:g}" for b in self.boundaries] + ["+Inf"]
+        return dict(zip(keys, counts))
+
+    def labels(self) -> list[str]:
+        return sorted(self._buckets)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            label: {
+                "count": self.count(label),
+                "sum": self.sum(label),
+                "buckets": self.buckets(label),
+            }
+            for label in self.labels()
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for the metric objects of one measured scope."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...], help: str = ""
+    ) -> Histogram:
+        metric = self._get_or_create(name, lambda: Histogram(name, boundaries, help))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-safe snapshot of every metric in the registry."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def render(self) -> str:
+        """Plain-text exposition, one ``name{label} value`` line per series."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# {name}: {metric.help}")
+            if isinstance(metric, (Counter, Gauge)):
+                for label, value in metric.items():
+                    series = f"{name}{{{label}}}" if label else name
+                    rendered = f"{value:g}"
+                    lines.append(f"{series} {rendered}")
+            else:
+                for label in metric.labels():
+                    series = f"{name}{{{label}}}" if label else name
+                    lines.append(
+                        f"{series} count={metric.count(label)} "
+                        f"sum={metric.sum(label):g} "
+                        f"mean={metric.mean(label):.4g}"
+                    )
+                    bucket_line = " ".join(
+                        f"le={le}:{count}"
+                        for le, count in metric.buckets(label).items()
+                        if count
+                    )
+                    if bucket_line:
+                        lines.append(f"  {bucket_line}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def merge_counter(target: Mapping[str, float], source: Counter) -> dict[str, float]:
+    """Sum *source*'s series into a plain dict copy of *target*."""
+    merged = dict(target)
+    for label, value in source.items():
+        merged[label] = merged.get(label, 0.0) + value
+    return merged

@@ -236,12 +236,15 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 def call_with_retry(
     operation: Callable[[], T],
     policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    on_retry: Callable[[], None] | None = None,
 ) -> T:
     """Run *operation*, retrying transient storage faults with backoff.
 
     After ``policy.max_attempts`` transient failures the last error is
     re-raised with the attempt count chained in, so callers can tell an
-    exhausted retry budget from a first-try permanent failure.
+    exhausted retry budget from a first-try permanent failure. *on_retry*
+    (when given) is invoked once per retry, before the backoff sleep —
+    the observability layer counts retries through it.
     """
     attempt = 0
     while True:
@@ -253,6 +256,8 @@ def call_with_retry(
                 raise StorageError(
                     f"transient fault persisted across {attempt} attempts: {exc}"
                 ) from exc
+            if on_retry is not None:
+                on_retry()
             delay = policy.delay_for(attempt)
             if delay > 0:
                 policy.sleep(delay)

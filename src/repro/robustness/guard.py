@@ -71,7 +71,7 @@ class SandboxedController:
         self.disabled = True
         self.failure = exc
         order = tuple(pipeline.order)
-        pipeline.events.append(
+        pipeline.record_event(
             AdaptationEvent(
                 kind=EventKind.DEGRADED,
                 driving_rows_produced=pipeline.driving_rows_total,

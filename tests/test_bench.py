@@ -1,5 +1,7 @@
 """Tests for the benchmark harness (runner, experiments, reporting)."""
 
+import json
+
 import pytest
 
 from repro import AdaptiveConfig, ReorderMode
@@ -12,8 +14,18 @@ from repro.bench.experiments import (
     template_ratio_experiment,
     window_sweep_experiment,
 )
-from repro.bench.reporting import format_scatter_summary, format_table, to_csv
-from repro.bench.runner import run_workload, standard_configs
+from repro.bench.reporting import (
+    format_scatter_summary,
+    format_table,
+    format_workload_metrics,
+    to_csv,
+    write_csv,
+)
+from repro.bench.runner import (
+    run_workload,
+    standard_configs,
+    write_json_atomic,
+)
 from repro.dmv import four_table_workload
 
 
@@ -49,6 +61,37 @@ class TestRunner:
         # static is listed second but must still act as the reference.
         result = run_workload(db, tiny_workload, configs, verify_against="static")
         assert len(result.measurements) == 2 * len(tiny_workload)
+
+    def test_workload_result_accumulates_metrics(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        configs = {
+            "static": AdaptiveConfig(mode=ReorderMode.NONE),
+            "both": AdaptiveConfig(mode=ReorderMode.BOTH),
+        }
+        result = run_workload(db, tiny_workload, configs)
+        queries = result.metrics.counter("bench_queries_total")
+        assert queries.value("static") == len(tiny_workload)
+        assert queries.value("both") == len(tiny_workload)
+        work = result.metrics.counter("bench_work_units_total")
+        assert work.value("both") == pytest.approx(
+            sum(m.work for m in result.by_mode("both").values())
+        )
+        histo = result.metrics.histogram(
+            "bench_query_work_units", boundaries=(1.0,)
+        )
+        assert histo.count("static") == len(tiny_workload)
+
+    def test_save_json_round_trips(self, mini_dmv, tiny_workload, tmp_path):
+        db, _ = mini_dmv
+        configs = {"static": AdaptiveConfig(mode=ReorderMode.NONE)}
+        result = run_workload(db, tiny_workload, configs)
+        target = tmp_path / "run.json"
+        result.save_json(str(target))
+        payload = json.loads(target.read_text())
+        assert len(payload["measurements"]) == len(tiny_workload)
+        assert payload["measurements"][0]["mode"] == "static"
+        assert "bench_queries_total" in payload["metrics"]
+        assert not list(tmp_path.glob("*.tmp.*"))
 
 
 class TestExperiments:
@@ -117,3 +160,40 @@ class TestReporting:
     def test_to_csv(self):
         text = to_csv(["a", "b"], [[1, "x"]])
         assert text.splitlines() == ["a,b", "1,x"]
+
+    def test_write_csv_atomic(self, tmp_path):
+        target = tmp_path / "series.csv"
+        write_csv(str(target), ["a"], [[1], [2]])
+        assert target.read_text().splitlines() == ["a", "1", "2"]
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_write_json_atomic(self, tmp_path):
+        target = tmp_path / "payload.json"
+        write_json_atomic(str(target), {"b": 2, "a": [1, 2]})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": 2}
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_write_json_atomic_keeps_old_file_on_failure(self, tmp_path):
+        target = tmp_path / "payload.json"
+        write_json_atomic(str(target), {"ok": True})
+        with pytest.raises(TypeError):
+            write_json_atomic(str(target), {"bad": object()})
+        # The original content survives and no temp file is left behind.
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_format_workload_metrics(self, mini_dmv, tiny_workload):
+        db, _ = mini_dmv
+        configs = {
+            "static": AdaptiveConfig(mode=ReorderMode.NONE),
+            "both": AdaptiveConfig(mode=ReorderMode.BOTH),
+        }
+        result = run_workload(db, tiny_workload, configs)
+        text = format_workload_metrics(result.metrics)
+        assert "workload metrics" in text
+        assert "static" in text and "both" in text
+
+    def test_format_workload_metrics_empty(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        assert "no workload metrics" in format_workload_metrics(MetricsRegistry())

@@ -139,7 +139,54 @@ class TestCommands:
         assert code == 0
         assert "results match" in capsys.readouterr().out
 
-    def test_experiment_table1(self, capsys):
+    def test_query_explain_analyze(self, capsys):
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--explain-analyze",
+                "SELECT o.name FROM Owner o, Car c "
+                "WHERE c.ownerid = o.id AND o.country3 = 'DE'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Golden markers: each section of the report must be present.
+        assert "EXPLAIN ANALYZE" in out
+        assert "PipelinePlan" in out
+        assert "pipeline actuals" in out
+        assert "DRIVING" in out and "INNER" in out
+        assert "executed:" in out
+        assert "work breakdown:" in out
+        assert "adaptation timeline" in out
+        assert "budget: unlimited" in out
+        assert "faults: 0 transient retrie(s), 0 degradation(s)" in out
+
+    def test_query_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "query",
+                "--scale",
+                "0.005",
+                "--trace",
+                str(trace_file),
+                "--metrics",
+                "SELECT o.name FROM Owner o WHERE o.country3 = 'DE' LIMIT 3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "query_rows_emitted_total" in captured.out
+        assert "span(s) written" in captured.err
+        lines = trace_file.read_text().splitlines()
+        assert lines
+        spans = [json.loads(line) for line in lines]
+        names = {span["name"] for span in spans}
+        assert {"query", "parse", "optimize", "execute"} <= names
         assert main(["experiment", "table1", "--scale", "0.005"]) == 0
         assert "Table 1" in capsys.readouterr().out
 

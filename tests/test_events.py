@@ -40,6 +40,22 @@ class TestEventRecord:
         assert "inner-reorder" in text
         assert "a,b,c -> a,c,b" in text
 
+    def test_negative_benefit_reports_zero(self):
+        # A decision whose new plan was estimated costlier must report
+        # 0.0, not a negative fraction, so downstream percentage
+        # formatting and benefit aggregations stay sane.
+        event = AdaptationEvent(
+            kind=EventKind.INNER_REORDER,
+            driving_rows_produced=20,
+            old_order=("a", "b", "c"),
+            new_order=("a", "c", "b"),
+            estimated_current_cost=100.0,
+            estimated_new_cost=140.0,
+            position=1,
+        )
+        assert event.estimated_benefit == 0.0
+        assert "0% predicted benefit" in event.describe()
+
     def test_zero_cost_guard(self):
         event = AdaptationEvent(
             kind=EventKind.DRIVING_SWITCH,

@@ -1,0 +1,108 @@
+"""Observability must be free when disabled and passive when armed.
+
+The Sec 5.4 overhead story is told in deterministic work units, so the
+observability layer has a sharp contract: with ``obs`` disabled the
+engine pays one ``is None`` check per site and charges nothing; with
+``obs`` armed it may spend wall-clock time but must never touch the
+:class:`~repro.storage.counters.WorkMeter` or change a single result row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter as Multiset
+
+import pytest
+
+from repro import AdaptiveConfig, QueryObservability, ReorderMode
+from repro.dmv import four_table_workload, load_dmv
+
+
+@pytest.fixture(scope="module")
+def dmv_db():
+    db, _ = load_dmv(scale=0.01)
+    return db
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return four_table_workload(queries_per_template=1)
+
+
+def _work_fields(stats) -> dict:
+    return dataclasses.asdict(stats.work)
+
+
+class TestDisabledObservabilityIsFree:
+    def test_work_units_identical_to_baseline(self, dmv_db, workload):
+        """obs=None runs charge exactly the same meter, field by field."""
+        config = AdaptiveConfig(mode=ReorderMode.BOTH)
+        for query in workload:
+            baseline = dmv_db.execute(query.sql, config)
+            disabled = dmv_db.execute(query.sql, config, obs=None)
+            assert _work_fields(disabled.stats) == _work_fields(
+                baseline.stats
+            ), f"{query.qid}: disabled observability changed the meter"
+            assert Multiset(disabled.rows) == Multiset(
+                baseline.rows
+            ), f"{query.qid}: disabled observability changed the result"
+
+    def test_disabled_run_carries_no_artifacts(self, dmv_db, workload):
+        query = workload[0]
+        result = dmv_db.execute(query.sql, AdaptiveConfig(mode=ReorderMode.BOTH))
+        assert result.trace is None
+        assert result.metrics is None
+        assert result.samples == ()
+
+
+class TestArmedObservabilityIsPassive:
+    @pytest.mark.parametrize(
+        "mode",
+        [ReorderMode.NONE, ReorderMode.MONITOR_ONLY, ReorderMode.BOTH],
+    )
+    def test_armed_run_charges_identical_work(self, dmv_db, workload, mode):
+        """An armed tracer/registry/sampler never touches the meter."""
+        config = AdaptiveConfig(mode=mode)
+        for query in workload:
+            baseline = dmv_db.execute(query.sql, config)
+            armed = dmv_db.execute(query.sql, config, obs=True)
+            assert _work_fields(armed.stats) == _work_fields(
+                baseline.stats
+            ), f"{query.qid}: armed observability changed the meter in {mode}"
+            assert Multiset(armed.rows) == Multiset(
+                baseline.rows
+            ), f"{query.qid}: armed observability changed the result in {mode}"
+            assert armed.stats.total_switches == baseline.stats.total_switches
+            assert armed.final_order == baseline.final_order
+
+    def test_armed_run_with_custom_bundle(self, dmv_db, workload):
+        query = workload[0]
+        config = AdaptiveConfig(mode=ReorderMode.BOTH)
+        baseline = dmv_db.execute(query.sql, config)
+        obs = QueryObservability.armed(sample_every=5, probe_batch=8)
+        armed = dmv_db.execute(query.sql, config, obs=obs)
+        assert armed.stats.total_work == baseline.stats.total_work
+        assert armed.trace is obs.tracer
+        assert armed.metrics is obs.metrics
+
+    def test_wall_clock_overhead_is_bounded(self, dmv_db, workload):
+        """Armed observability costs wall time, but not pathologically.
+
+        Best-of-N timing with a generous bound — this guards against a
+        per-probe span regression (unbatched tracing), not microseconds.
+        """
+        query = workload[0]
+        config = AdaptiveConfig(mode=ReorderMode.BOTH)
+
+        def best_of(runs: int, **kwargs) -> float:
+            best = float("inf")
+            for _ in range(runs):
+                started = time.perf_counter()
+                dmv_db.execute(query.sql, config, **kwargs)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        baseline = best_of(3)
+        armed = best_of(3, obs=True)
+        assert armed <= max(baseline * 3.0, baseline + 0.05)
