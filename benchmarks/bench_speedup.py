@@ -1,0 +1,176 @@
+"""Wall-clock speedup of the batched executor on the six-table DMV workload.
+
+Measures three variants of the same workload:
+
+* ``scalar``  — the row-at-a-time pipeline (the paper's executor),
+* ``batched`` — driving-leg batches + merged-descent ``probe_batch``,
+* ``cached``  — batched plus the per-leg LRU probe cache.
+
+Variant reps are interleaved (scalar, batched, cached, scalar, ...) and the
+minimum per variant is reported, so machine-load drift hits every variant
+alike instead of biasing whichever ran last. Every variant's result rows are
+checked against scalar's per query — a speedup that changes answers must
+fail loudly, not report numbers.
+
+Results go to ``BENCH_speedup.json`` at the repo root (atomic write), so the
+perf trajectory of future PRs is recorded. Exits non-zero under ``--check``
+if the batched path is slower than scalar by more than 10% — a regression
+guard, not a strict speedup gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speedup.py           # full run
+    PYTHONPATH=src python benchmarks/bench_speedup.py --quick --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.runner import write_json_atomic
+from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.dmv import load_dmv, six_table_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: --check fails when batched exceeds scalar time by more than this factor.
+CHECK_TOLERANCE = 1.10
+
+
+def build_variants(
+    mode: ReorderMode, batch_size: int, cache_size: int
+) -> dict[str, AdaptiveConfig]:
+    return {
+        "scalar": AdaptiveConfig(mode=mode),
+        "batched": AdaptiveConfig(mode=mode, batched=True, batch_size=batch_size),
+        "cached": AdaptiveConfig(
+            mode=mode,
+            batched=True,
+            batch_size=batch_size,
+            probe_cache_size=cache_size,
+        ),
+    }
+
+
+def measure_mode(db, queries, variants, reps: int) -> dict[str, dict]:
+    """Min-of-reps wall seconds per variant, with result verification."""
+    best = {name: float("inf") for name in variants}
+    meters: dict[str, dict] = {name: {} for name in variants}
+    reference: dict[str, list] = {}
+    for rep in range(reps):
+        for name, config in variants.items():
+            total = 0.0
+            hits = misses = 0
+            for query in queries:
+                outcome = db.execute(query.sql, config)
+                total += outcome.stats.wall_seconds
+                hits += outcome.stats.work.probe_cache_hits
+                misses += outcome.stats.work.probe_cache_misses
+                if rep == 0:
+                    rows = sorted(outcome.rows)
+                    expected = reference.setdefault(query.qid, rows)
+                    if rows != expected:
+                        raise AssertionError(
+                            f"{query.qid}: variant {name!r} changed the result set"
+                        )
+            if total < best[name]:
+                best[name] = total
+                meters[name] = {
+                    "wall_seconds": total,
+                    "probe_cache_hits": hits,
+                    "probe_cache_misses": misses,
+                }
+    return meters
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1, help="DMV scale factor")
+    parser.add_argument("--count", type=int, default=6, help="six-table query count")
+    parser.add_argument("--reps", type=int, default=7, help="interleaved repetitions")
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="probe-cache capacity for the cached variant",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="also measure mode BOTH (adaptive reordering) variants",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scale/count, static mode only (CI smoke)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 if batched > {CHECK_TOLERANCE:.2f}x scalar wall time",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_speedup.json"),
+        help="where to write the JSON payload",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = min(args.scale, 0.05)
+        args.count = min(args.count, 3)
+        args.reps = min(args.reps, 3)
+
+    db, summary = load_dmv(scale=args.scale, extended=True)
+    queries = six_table_workload(count=args.count)
+
+    modes = [ReorderMode.NONE]
+    if args.adaptive and not args.quick:
+        modes.append(ReorderMode.BOTH)
+
+    payload: dict = {
+        "benchmark": "six_table_speedup",
+        "unix_time": time.time(),
+        "scale": args.scale,
+        "query_count": len(queries),
+        "reps": args.reps,
+        "batch_size": args.batch_size,
+        "cache_size": args.cache_size,
+        "modes": {},
+    }
+    check_failed = False
+    for mode in modes:
+        variants = build_variants(mode, args.batch_size, args.cache_size)
+        meters = measure_mode(db, queries, variants, args.reps)
+        scalar = meters["scalar"]["wall_seconds"]
+        batched = meters["batched"]["wall_seconds"]
+        cached = meters["cached"]["wall_seconds"]
+        for name in meters:
+            meters[name]["speedup_vs_scalar"] = scalar / meters[name]["wall_seconds"]
+        payload["modes"][mode.name.lower()] = meters
+        print(
+            f"{mode.name.lower():8s} scalar={scalar:.3f}s "
+            f"batched={batched:.3f}s ({scalar / batched:.2f}x) "
+            f"cached={cached:.3f}s ({scalar / cached:.2f}x)"
+        )
+        if mode is ReorderMode.NONE and batched > scalar * CHECK_TOLERANCE:
+            check_failed = True
+
+    write_json_atomic(args.output, payload)
+    print(f"wrote {args.output}")
+    if args.check and check_failed:
+        print(
+            f"CHECK FAILED: batched path slower than scalar by more than "
+            f"{(CHECK_TOLERANCE - 1) * 100:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Adaptively Reordering Joins during "
         "Query Execution' (ICDE 2007)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="profile the whole command under cProfile and dump pstats "
+        "data to FILE (inspect with `python -m pstats FILE`)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="build the DMV data set")
@@ -107,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-execution wall-clock deadline in milliseconds",
     )
     query.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run on the batched executor with driving-leg chunks of N rows",
+    )
+    query.add_argument(
+        "--probe-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm the per-leg LRU probe cache with capacity N "
+        "(implies the batched executor)",
+    )
+    query.add_argument(
         "--fault-plan",
         default=None,
         metavar="JSON",
@@ -152,6 +174,20 @@ def _parse_fault_plan(value: str | None) -> FaultPlan | None:
     return FaultPlan.from_json(text)
 
 
+def _make_config(mode: ReorderMode, cli_args) -> AdaptiveConfig:
+    """AdaptiveConfig for *mode* with the CLI's executor knobs applied."""
+    batch_size = getattr(cli_args, "batch_size", None)
+    probe_cache = getattr(cli_args, "probe_cache", None)
+    if batch_size is None and probe_cache is None:
+        return AdaptiveConfig(mode=mode)
+    kwargs: dict = {"mode": mode, "batched": True}
+    if batch_size is not None:
+        kwargs["batch_size"] = batch_size
+    if probe_cache is not None:
+        kwargs["probe_cache_size"] = probe_cache
+    return AdaptiveConfig(**kwargs)
+
+
 def _run_query(
     db: Database,
     sql: str,
@@ -159,12 +195,15 @@ def _run_query(
     explain: bool,
     limits: ExecutionLimits | None = None,
     fault_plan: FaultPlan | None = None,
+    cli_args=None,
 ) -> None:
     if explain:
         print(db.explain(sql))
         print()
     try:
-        static = db.execute(sql, AdaptiveConfig(mode=ReorderMode.NONE), limits=limits)
+        static = db.execute(
+            sql, _make_config(ReorderMode.NONE, cli_args), limits=limits
+        )
     except BudgetExceeded as error:
         print(f"static:   budget exceeded — {error.progress_summary()}")
         return
@@ -178,7 +217,7 @@ def _run_query(
         try:
             adaptive = db.execute(
                 sql,
-                AdaptiveConfig(mode=mode),
+                _make_config(mode, cli_args),
                 limits=limits,
                 fault_plan=fault_plan,
             )
@@ -210,7 +249,7 @@ def _run_observed_query(
     fault_plan: FaultPlan | None,
 ) -> int:
     """One observed execution: --explain-analyze / --trace / --metrics."""
-    config = AdaptiveConfig(mode=mode)
+    config = _make_config(mode, args)
     obs = QueryObservability.armed(sample_every=config.check_frequency)
 
     def dump_trace() -> None:
@@ -294,6 +333,7 @@ def cmd_query(args) -> int:
         args.explain,
         limits=limits,
         fault_plan=fault_plan,
+        cli_args=args,
     )
     return 0
 
@@ -362,6 +402,21 @@ def main(argv: list[str] | None = None) -> int:
         "shell": cmd_shell,
         "experiment": cmd_experiment,
     }
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return handlers[args.command](args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(
+                f"profile: pstats dump written to {args.profile} "
+                f"(inspect with `python -m pstats {args.profile}`)",
+                file=sys.stderr,
+            )
     return handlers[args.command](args)
 
 

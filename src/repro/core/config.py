@@ -83,6 +83,18 @@ class AdaptiveConfig:
     # Monitored estimates are trusted only after a leg has seen this many
     # incoming rows; before that, optimizer priors are blended in.
     warmup_rows: int = 10
+    # Run the vectorized executor: driving rows are read ahead in batches
+    # and inner legs are resolved through probe_batch()'s merged index
+    # descents. Semantics-preserving — results, work accounting, and
+    # adaptation decisions are identical to the scalar path.
+    batched: bool = False
+    # Target batch width for the batched path (the lookahead shrinks near
+    # reorder-check boundaries so adaptation points are never overrun).
+    batch_size: int = 256
+    # LRU capacity (entries per leg) of the join-key probe cache; 0 keeps
+    # the cache off. Cache hits skip the repeated descend/fetch/eval work
+    # charges — the one documented divergence from scalar accounting.
+    probe_cache_size: int = 0
 
     def __post_init__(self) -> None:
         if self.check_frequency < 1:
@@ -93,3 +105,7 @@ class AdaptiveConfig:
             raise ValueError("switch_benefit_threshold must be in [0, 1)")
         if self.warmup_rows < 0:
             raise ValueError("warmup_rows must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.probe_cache_size < 0:
+            raise ValueError("probe_cache_size must be >= 0")

@@ -29,6 +29,7 @@ from repro.core.config import AdaptiveConfig, ReorderMode
 from repro.core.controller import AdaptationController
 from repro.core.events import EventKind
 from repro.errors import SchemaError
+from repro.executor.batch import BatchedPipelineExecutor
 from repro.executor.pipeline import PipelineExecutor
 from repro.executor.postprocess import PostProcessor
 from repro.obs.explain import render_explain_analyze
@@ -316,7 +317,10 @@ class Database:
             oracle = InvariantOracle()
         elif oracle is False:
             oracle = None
-        executor = PipelineExecutor(
+        executor_cls = (
+            BatchedPipelineExecutor if config.batched else PipelineExecutor
+        )
+        executor = executor_cls(
             plan,
             self.catalog,
             config,

@@ -30,6 +30,12 @@ from repro.robustness.faults import DEFAULT_RETRY_POLICY, RetryPolicy, call_with
 from repro.optimizer.plans import DrivingKind, PlanLeg
 from repro.query.joingraph import JoinPredicate
 from repro.query.predicates import PositionalPredicate
+from repro.storage.counters import (
+    INDEX_DESCEND_COST,
+    INDEX_ENTRY_COST,
+    PREDICATE_EVAL_COST,
+    ROW_FETCH_COST,
+)
 from repro.storage.cursor import IndexScanCursor, TableScanCursor
 from repro.storage.index import SortedIndex
 from repro.storage.table import Row
@@ -38,7 +44,7 @@ Binding = dict[str, Row]
 Cursor = TableScanCursor | IndexScanCursor
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeConfig:
     """Compiled probe strategy for a leg at its current pipeline position."""
 
@@ -53,10 +59,78 @@ class ProbeConfig:
     # Sec 6 extension: probe via an in-memory hash table on this column
     # instead of an index (built lazily on first probe).
     hash_column: str | None = None
+    # Outer-side source of the probe key as (alias, row slot) — what
+    # key_getter reads. The batched turbo path uses these to hoist
+    # constant lookups out of its per-row loop. None for scan probes.
+    key_alias: str | None = None
+    key_slot: int | None = None
+    # Outer-side (alias, row slot) of each residual join, parallel to
+    # residual_joins.
+    residual_sources: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(slots=True)
+class PreparedProbe:
+    """A resolved probe whose accounting has not been applied yet.
+
+    ``probe_batch`` does the physical work (index descent, heap fetches,
+    predicate evaluation) ahead of time with **no observable side effects**;
+    everything the scalar :meth:`RuntimeLeg.probe` would have touched — the
+    work meter, the leg monitor, the per-predicate local counts, the
+    observability hook — is captured here and replayed by
+    :meth:`RuntimeLeg.replay_prepared` at the exact logical point the scalar
+    path would have probed. ``work`` is the probe's execution-unit total
+    (``descends*4 + entries*1 + fetches*2 + evals*0.25``), which equals the
+    scalar path's before/after ``execution_units`` delta exactly (all
+    weights are multiples of 0.25, far below float precision limits).
+    """
+
+    descends: int
+    entries: int
+    fetches: int
+    evals: int
+    index_matches: int
+    matches: list[Row]
+    work: float
+    # Per-local-predicate (evaluated, passed) deltas, parallel to
+    # local_tests; None when nothing was counted (monitoring off or no
+    # local predicates).
+    local_deltas: tuple[tuple[int, int], ...] | None
 
 
 class RuntimeLeg:
     """Run-time state of one table in the pipeline."""
+
+    __slots__ = (
+        "plan_leg",
+        "alias",
+        "table",
+        "schema",
+        "meter",
+        "indexes",
+        "monitoring_enabled",
+        "monitor",
+        "driving_monitor",
+        "positional",
+        "_history_window",
+        "local_tests",
+        "local_counts",
+        "probe_config",
+        "probe_epoch",
+        "incoming_since_check",
+        "hash_policy",
+        "retry_policy",
+        "collect_rids",
+        "match_rids",
+        "obs",
+        "degrade_hook",
+        "monitor_failure",
+        "_hash_tables",
+        "_slpi_metadata",
+        "_turbo_groups",
+        "_turbo_groups_gen",
+        "_turbo_rows_seen",
+    )
 
     def __init__(
         self,
@@ -87,6 +161,10 @@ class RuntimeLeg:
         # dynamic-access-path extension.
         self.local_counts = [[0, 0] for _ in self.local_tests]
         self.probe_config: ProbeConfig | None = None
+        # Bumped on every compile_probe; the probe cache flushes when it
+        # observes a new epoch (reorders and driving switches change what a
+        # probe means — access predicate, residual set, positional filter).
+        self.probe_epoch = 0
         self.incoming_since_check = 0
         self.hash_policy = hash_policy
         # Transient-fault retry (only consulted while a fault injector is
@@ -111,6 +189,13 @@ class RuntimeLeg:
         # RuntimeModelBuilder._index_selectivity); invalidated when the
         # dynamic access-path extension replaces the spec.
         self._slpi_metadata: float | None = None
+        # Turbo-path locally-filtered candidate groups (see
+        # _turbo_filtered); rebuilt when the generation tuple moves.
+        self._turbo_groups: Any = None
+        self._turbo_groups_gen: tuple | None = None
+        # Candidate rows the turbo path has filtered inline so far — the
+        # break-even gauge for building _turbo_groups.
+        self._turbo_rows_seen = 0
 
     @property
     def base_cardinality(self) -> int:
@@ -125,6 +210,7 @@ class RuntimeLeg:
         graph: Any,
         schemas: dict[str, Any],
         sel_of: Callable[[JoinPredicate], float],
+        slot_of: Callable[[str, str], int] | None = None,
     ) -> None:
         """(Re)compile the probe strategy for the current leg order.
 
@@ -133,7 +219,9 @@ class RuntimeLeg:
         derived predicates from column equivalence classes); *schemas* maps
         alias -> TableSchema of every leg (to compile outer-side getters);
         *sel_of* estimates a join predicate's selectivity, used to pick the
-        most selective indexed access predicate.
+        most selective indexed access predicate; *slot_of*, when given, is a
+        shared ``(alias, column) -> row slot`` cache so repeated recompiles
+        across legs don't re-resolve schema positions.
         """
         available = graph.available_predicates(self.alias, preceding)
         if not available and len(schemas) > 1:
@@ -159,9 +247,16 @@ class RuntimeLeg:
             hash_column = access.column_of(self.alias)
         residual = [p for p in available if p is not access]
 
-        def getter_for(predicate: JoinPredicate) -> Callable[[Binding], Any]:
+        if slot_of is None:
+            def slot_of(alias: str, column: str) -> int:
+                return schemas[alias].position_of(column)
+
+        def source_of(predicate: JoinPredicate) -> tuple[str, int]:
             other = predicate.other(self.alias)
-            slot = schemas[other].position_of(predicate.column_of(other))
+            return other, slot_of(other, predicate.column_of(other))
+
+        def getter_for(predicate: JoinPredicate) -> Callable[[Binding], Any]:
+            other, slot = source_of(predicate)
 
             def get(binding: Binding) -> Any:
                 return binding[other][slot]
@@ -169,8 +264,11 @@ class RuntimeLeg:
             return get
 
         key_getter = getter_for(access) if access is not None else None
+        key_alias, key_slot = (
+            source_of(access) if access is not None else (None, None)
+        )
         residual_compiled = tuple(
-            (getter_for(p), self.schema.position_of(p.column_of(self.alias)))
+            (getter_for(p), slot_of(self.alias, p.column_of(self.alias)))
             for p in residual
         )
         self.probe_config = ProbeConfig(
@@ -182,7 +280,11 @@ class RuntimeLeg:
             residual_joins=residual_compiled,
             available_predicates=tuple(available),
             hash_column=hash_column,
+            key_alias=key_alias,
+            key_slot=key_slot,
+            residual_sources=tuple(source_of(p) for p in residual),
         )
+        self.probe_epoch += 1
         self.incoming_since_check = 0
 
     def probe(self, binding: Binding) -> list[Row]:
@@ -251,6 +353,582 @@ class RuntimeLeg:
                 self._degrade_monitoring(exc)
         if self.obs is not None:
             self.obs.on_probe(self.alias, index_matches, len(matches))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Batched inner-leg role (the vectorized executor)
+    # ------------------------------------------------------------------
+    def probe_batch(
+        self,
+        binding: Binding,
+        vary_alias: str,
+        outer_rows: Sequence[Row],
+        cache=None,
+    ) -> list[tuple[PreparedProbe, bool | None]]:
+        """Resolve probes for many outer rows in one merged physical pass.
+
+        *binding* must hold every preceding alias except that
+        ``binding[vary_alias]`` is overwritten per outer row (and left at
+        the last one — callers rebind it before use). Returns one
+        ``(PreparedProbe, hit)`` per outer row, in order; ``hit`` is None
+        when no cache is armed. **No side effects**: charges, monitor
+        records, and hooks happen later, in :meth:`replay_prepared`, at the
+        logical point the scalar path would have probed — that replay is
+        what keeps WorkMeter totals and Eq 5–11 estimates identical to
+        scalar execution at every observable point.
+
+        Index-access probes for all missed keys share a single merged
+        left-to-right descent over the index (`lookup_rids_batch`), which
+        is where the batch wall-clock win comes from.
+        """
+        config = self.probe_config
+        if config is None:
+            raise ExecutionError(f"leg {self.alias!r} has no probe config")
+        if config.hash_column is not None:
+            raise ExecutionError(
+                f"leg {self.alias!r}: hash probes are not batchable"
+            )
+        key_getter = config.key_getter
+        residual = config.residual_joins
+        index = config.access_index
+        monitoring = self.monitoring_enabled
+
+        # Pass 1 — per outer row, extract the probe key and residual outer
+        # values, consulting the cache. Only misses reach the index.
+        plan: list = [None] * len(outer_rows)
+        misses: list[tuple[int, Any, tuple, Any]] = []
+        probe_keys: list = []
+        for i, outer in enumerate(outer_rows):
+            binding[vary_alias] = outer
+            key = key_getter(binding) if key_getter is not None else None
+            if residual:
+                ovals = tuple(get_outer(binding) for get_outer, _ in residual)
+                # Flat cache key; shape is fixed per probe epoch and the
+                # cache flushes on epoch change, so shapes never mix.
+                ckey = (key,) + ovals
+            else:
+                ovals = ()
+                ckey = key
+            if cache is not None:
+                entry = cache.get(ckey)
+                if entry is not None:
+                    plan[i] = (entry, True)
+                    continue
+            misses.append((i, key, ovals, ckey))
+            if index is not None and key is not None:
+                probe_keys.append(key)
+
+        # Pass 2 — one merged descent resolves every distinct missed key.
+        rid_map = (
+            index.lookup_rids_batch(probe_keys)
+            if index is not None and probe_keys
+            else {}
+        )
+
+        # Pass 3 — filter candidates exactly as the scalar probe would,
+        # counting (not yet charging) the work it would have metered.
+        raw = self.table.raw_rows()
+        local_tests = self.local_tests
+        positional = self.positional
+        hit_flag = False if cache is not None else None
+        for i, key, ovals, ckey in misses:
+            if index is not None:
+                if key is None:
+                    # Scalar lookup_rids: descend charged, no entries walked.
+                    rids: Sequence[int] = ()
+                    descends, entry_count, fetches = 1, 0, 0
+                else:
+                    rids = rid_map[key]
+                    descends = 1
+                    entry_count = max(len(rids), 1)
+                    fetches = len(rids)
+            else:
+                # Scan probe: every heap row is fetched as a candidate.
+                rids = range(len(raw))
+                descends, entry_count, fetches = 0, 0, len(raw)
+            index_matches = len(rids)
+            evals = 0
+            matches: list[Row] = []
+            deltas = (
+                [[0, 0] for _ in local_tests]
+                if monitoring and local_tests
+                else None
+            )
+            for rid in rids:
+                row = raw[rid]
+                ok = True
+                for slot, (_, test) in enumerate(local_tests):
+                    evals += 1
+                    passed = test(row)
+                    if deltas is not None:
+                        pair = deltas[slot]
+                        pair[0] += 1
+                        pair[1] += 1 if passed else 0
+                    if not passed:
+                        ok = False
+                        break
+                if ok and positional is not None:
+                    evals += 1
+                    if not positional.test(rid, row):
+                        ok = False
+                if ok:
+                    for j, (_, slot) in enumerate(residual):
+                        evals += 1
+                        cell = row[slot]
+                        if cell is None or cell != ovals[j]:
+                            ok = False
+                            break
+                if ok:
+                    matches.append(row)
+            prepared = PreparedProbe(
+                descends=descends,
+                entries=entry_count,
+                fetches=fetches,
+                evals=evals,
+                index_matches=index_matches,
+                matches=matches,
+                work=(
+                    descends * INDEX_DESCEND_COST
+                    + entry_count * INDEX_ENTRY_COST
+                    + fetches * ROW_FETCH_COST
+                    + evals * PREDICATE_EVAL_COST
+                ),
+                local_deltas=(
+                    tuple((pair[0], pair[1]) for pair in deltas)
+                    if deltas is not None
+                    else None
+                ),
+            )
+            if cache is not None:
+                cache.put(ckey, prepared)
+            plan[i] = (prepared, hit_flag)
+        return plan
+
+    def probe_batch_turbo(
+        self,
+        binding: Binding,
+        vary_alias: str,
+        outer_rows: Sequence[Row],
+        cache=None,
+    ) -> list[list[Row]]:
+        """Charge-as-you-go :meth:`probe_batch` for unobserved static runs.
+
+        Only legal when *nothing can observe intermediate meter state*: mode
+        ``NONE`` (no monitors, no reorder checks), no execution limits, no
+        observability, no oracle, no faults. Under those conditions the work
+        meter is read once, at query end, so charging each chunk's aggregate
+        up front is observably identical to the scalar path's per-probe
+        charges — and skips the entire :class:`PreparedProbe` replay
+        machinery. Totals stay scalar-exact probe for probe; only the
+        (unobservable) intermediate meter states differ, by at most one
+        chunk of lookahead. Returns one match list per outer row; cache hits
+        skip their physical charges exactly as in the replayed path.
+        """
+        config = self.probe_config
+        if config is None:
+            raise ExecutionError(f"leg {self.alias!r} has no probe config")
+        if config.hash_column is not None:
+            raise ExecutionError(
+                f"leg {self.alias!r}: hash probes are not batchable"
+            )
+        residual = config.residual_joins
+        index = config.access_index
+        # Resolve the outer-side reads once: sources on the varying alias
+        # become direct row-slot reads per outer row; sources on any other
+        # (fixed) alias are constants for the whole chunk.
+        key_alias = config.key_alias
+        key_varies = key_alias == vary_alias
+        key_slot = config.key_slot
+        key_const = (
+            binding[key_alias][key_slot]
+            if key_alias is not None and not key_varies
+            else None
+        )
+        oval_specs: tuple = ()
+        if residual:
+            oval_specs = tuple(
+                (
+                    oalias == vary_alias,
+                    oslot if oalias == vary_alias else binding[oalias][oslot],
+                )
+                for oalias, oslot in config.residual_sources
+            )
+
+        out: list = [None] * len(outer_rows)
+        misses: list[tuple[int, Any, tuple, Any]] = []
+        probe_keys: list = []
+        hits = 0
+        centries = cache.entries if cache is not None else None
+        # Within-chunk duplicates: a sequential cached loop would miss on the
+        # first occurrence of a key and *hit* on every later one (the put
+        # happens before the next probe). The batch consults the cache before
+        # any put, so later occurrences must be folded onto the first
+        # explicitly or they'd repeat the full probe the scalar path skips.
+        pending: dict = {}
+        dups: list[tuple[int, int]] = []
+        single_res = len(oval_specs) == 1
+        if single_res:
+            ovaries, ospec = oval_specs[0]
+        for i, outer in enumerate(outer_rows):
+            key = outer[key_slot] if key_varies else key_const
+            if single_res:
+                # One residual source is the common chain-join shape; build
+                # the pair directly instead of via a generator round-trip.
+                oval = outer[ospec] if ovaries else ospec
+                ovals = (oval,)
+                ckey = (key, oval)
+            elif residual:
+                ovals = tuple(
+                    outer[spec] if varies else spec
+                    for varies, spec in oval_specs
+                )
+                ckey = (key,) + ovals
+            else:
+                ovals = ()
+                ckey = key
+            if centries is not None:
+                entry = centries.get(ckey)
+                if entry is not None:
+                    centries.move_to_end(ckey)
+                    out[i] = entry
+                    hits += 1
+                    continue
+                rep = pending.get(ckey)
+                if rep is not None:
+                    dups.append((i, rep))
+                    hits += 1
+                    continue
+                pending[ckey] = i
+            misses.append((i, key, ovals, ckey))
+            if index is not None and key is not None:
+                probe_keys.append(key)
+
+        local_tests = self.local_tests
+        if self.positional is not None:
+            # Positional predicates only exist after a driving switch, which
+            # mode NONE never performs — the turbo path cannot reach here.
+            raise ExecutionError(
+                f"leg {self.alias!r}: positional predicate on the turbo path"
+            )
+        # Candidate resolution. With local predicates, candidates come from
+        # the once-per-generation pre-filtered groups (local evals charged
+        # from the precomputed scalar-exact counts); without, straight from
+        # the merged row descent. RIDs are never needed either way.
+        groups: dict | None = None
+        scan_group: tuple | None = None
+        row_map: dict = {}
+        inline_tests: list | None = None
+        if local_tests:
+            if index is not None:
+                groups = self._turbo_filtered_if_warm(index)
+                if groups is None:
+                    inline_tests = [test for _, test in local_tests]
+                    if probe_keys:
+                        row_map = index.lookup_rows_batch(probe_keys)
+            else:
+                scan_group = self._turbo_scan_filtered()
+        elif index is not None and probe_keys:
+            row_map = index.lookup_rows_batch(probe_keys)
+
+        raw = self.table.raw_rows()
+        one_residual = len(residual) == 1
+        if one_residual:
+            res_slot = residual[0][1]
+        descends = entries = fetches = evals = 0
+        for i, key, ovals, ckey in misses:
+            if index is not None:
+                descends += 1
+                if key is None:
+                    # Scalar lookup_rids: descend charged, no entries walked.
+                    matches: list[Row] = []
+                    out[i] = matches
+                    if cache is not None:
+                        cache.put(ckey, matches)
+                    continue
+                if groups is not None:
+                    group = groups.get(key)
+                    if group is None:
+                        rows: Sequence[Row] = ()
+                        count = 0
+                    else:
+                        rows, local_evals, count = group
+                        evals += local_evals
+                else:
+                    rows = row_map[key]
+                    count = len(rows)
+                entries += count if count else 1
+                fetches += count
+                if inline_tests is not None and count:
+                    self._turbo_rows_seen += count
+                    passing = []
+                    for row in rows:
+                        for test in inline_tests:
+                            evals += 1
+                            if not test(row):
+                                break
+                        else:
+                            passing.append(row)
+                    rows = passing
+            else:
+                # Scan probe: every heap row is fetched as a candidate.
+                if scan_group is not None:
+                    rows, local_evals, count = scan_group
+                    evals += local_evals
+                    fetches += count
+                else:
+                    rows = raw
+                    fetches += len(raw)
+            # Residual filter over the locally-passing candidates.
+            if one_residual:
+                oval = ovals[0]
+                matches = [
+                    row
+                    for row in rows
+                    if (cell := row[res_slot]) is not None and cell == oval
+                ]
+                evals += len(rows)
+            elif not residual:
+                matches = list(rows)
+            else:
+                matches = []
+                for row in rows:
+                    for j, (_, slot) in enumerate(residual):
+                        evals += 1
+                        cell = row[slot]
+                        if cell is None or cell != ovals[j]:
+                            break
+                    else:
+                        matches.append(row)
+            out[i] = matches
+            if cache is not None:
+                cache.put(ckey, matches)
+        for i, rep in dups:
+            out[i] = out[rep]
+        meter = self.meter
+        meter.index_descends += descends
+        meter.index_entries += entries
+        meter.row_fetches += fetches
+        meter.predicate_evals += evals
+        if cache is not None:
+            cache.hits += hits
+            cache.misses += len(misses)
+            meter.probe_cache_hits += hits
+            meter.probe_cache_misses += len(misses)
+        return out
+
+    def _turbo_scan_filtered(self) -> tuple:
+        """Locally pre-filtered scan candidates for the turbo path.
+
+        Local predicates are pure functions of the candidate row, so their
+        outcome — and the exact short-circuit eval count a scalar probe
+        would charge — is computed once per (probe epoch, heap version) as
+        ``(passing rows, local evals, total rows)``. A scan probe walks the
+        whole heap anyway, so one build pays for itself by the first probe.
+        """
+        gen = (self.probe_epoch, self.table.version, None)
+        if self._turbo_groups_gen != gen:
+            tests = [test for _, test in self.local_tests]
+            passing: list[Row] = []
+            evals = 0
+            raw = self.table.raw_rows()
+            for row in raw:
+                for test in tests:
+                    evals += 1
+                    if not test(row):
+                        break
+                else:
+                    passing.append(row)
+            self._turbo_groups = (passing, evals, len(raw))
+            self._turbo_groups_gen = gen
+        return self._turbo_groups
+
+    def _turbo_filtered_if_warm(self, index) -> dict | None:
+        """Pre-filtered per-key groups, built only past break-even.
+
+        Building costs one pass over the whole index; it can only win once
+        this leg's probes have cumulatively pushed at least that many
+        candidate rows through the inline local-predicate filter
+        (``_turbo_rows_seen``). Before that point returns ``None`` and the
+        caller filters inline — bounding the worst case (leg probed a
+        handful of times) at the work already paid.
+        """
+        gen = (self.probe_epoch, self.table.version, index.name)
+        if self._turbo_groups_gen == gen:
+            return self._turbo_groups
+        if self._turbo_rows_seen < len(index):
+            return None
+        self._turbo_groups = index.filtered_groups(
+            [test for _, test in self.local_tests]
+        )
+        self._turbo_groups_gen = gen
+        return self._turbo_groups
+
+    def probe_turbo(self, binding: Binding, cache=None) -> list[Row]:
+        """Single-probe twin of :meth:`probe_batch_turbo`.
+
+        Deep pipeline positions mostly see one remaining outer row at a
+        time (the parent's match list is short), where the batch scaffolding
+        costs more than it saves; this path does the same cache consult,
+        lookup, filter, and aggregate charges for exactly one outer binding.
+        Same legality conditions as :meth:`probe_batch_turbo`.
+        """
+        config = self.probe_config
+        if config is None:
+            raise ExecutionError(f"leg {self.alias!r} has no probe config")
+        residual = config.residual_joins
+        index = config.access_index
+        meter = self.meter
+        key_alias = config.key_alias
+        key = (
+            binding[key_alias][config.key_slot]
+            if key_alias is not None
+            else None
+        )
+        if residual:
+            ovals = tuple(
+                binding[oalias][oslot]
+                for oalias, oslot in config.residual_sources
+            )
+            # Flat cache key: the shape is fixed per probe epoch, and the
+            # cache flushes on epoch change, so no ambiguity is possible.
+            ckey = (key,) + ovals
+        else:
+            ovals = ()
+            ckey = key
+        if cache is not None:
+            entries = cache.entries
+            entry = entries.get(ckey)
+            if entry is not None:
+                entries.move_to_end(ckey)
+                cache.hits += 1
+                meter.probe_cache_hits += 1
+                return entry
+            cache.misses += 1
+        if self.positional is not None:
+            # Positional predicates only exist after a driving switch, which
+            # mode NONE never performs — the turbo path cannot reach here.
+            raise ExecutionError(
+                f"leg {self.alias!r}: positional predicate on the turbo path"
+            )
+        local_tests = self.local_tests
+        if index is not None:
+            meter.index_descends += 1
+            if key is None:
+                matches: list[Row] = []
+                if cache is not None:
+                    cache.put(ckey, matches)
+                    meter.probe_cache_misses += 1
+                return matches
+            if local_tests:
+                groups = self._turbo_filtered_if_warm(index)
+                if groups is not None:
+                    group = groups.get(key)
+                    if group is None:
+                        rows: Sequence[Row] = ()
+                        count = 0
+                    else:
+                        rows, local_evals, count = group
+                        meter.predicate_evals += local_evals
+                else:
+                    rows = index.lookup_rows_quiet(key)
+                    count = len(rows)
+                    if count:
+                        self._turbo_rows_seen += count
+                        evals = 0
+                        passing = []
+                        for row in rows:
+                            for _, test in local_tests:
+                                evals += 1
+                                if not test(row):
+                                    break
+                            else:
+                                passing.append(row)
+                        rows = passing
+                        meter.predicate_evals += evals
+            else:
+                rows = index.lookup_rows_quiet(key)
+                count = len(rows)
+            meter.index_entries += count if count else 1
+            meter.row_fetches += count
+        elif local_tests:
+            rows, local_evals, count = self._turbo_scan_filtered()
+            meter.predicate_evals += local_evals
+            meter.row_fetches += count
+        else:
+            rows = self.table.raw_rows()
+            meter.row_fetches += len(rows)
+        # Residual filter over the locally-passing candidates.
+        if len(residual) == 1:
+            slot = residual[0][1]
+            oval = ovals[0]
+            matches = [
+                row
+                for row in rows
+                if (cell := row[slot]) is not None and cell == oval
+            ]
+            meter.predicate_evals += len(rows)
+        elif not residual:
+            matches = list(rows)
+        else:
+            matches = []
+            evals = 0
+            for row in rows:
+                for j, (_, slot) in enumerate(residual):
+                    evals += 1
+                    cell = row[slot]
+                    if cell is None or cell != ovals[j]:
+                        break
+                else:
+                    matches.append(row)
+            meter.predicate_evals += evals
+        if cache is not None:
+            cache.put(ckey, matches)
+            meter.probe_cache_misses += 1
+        return matches
+
+    def replay_prepared(
+        self, prepared: PreparedProbe, hit: bool | None
+    ) -> list[Row]:
+        """Apply a prepared probe's deferred accounting; return its matches.
+
+        Mirrors the observable tail of :meth:`probe`: execution-unit
+        charges (skipped on a cache hit — the documented savings), the
+        monitor's ``record_probe`` with the probe's full work (identical on
+        hits, so estimates never diverge), the local-predicate counters,
+        ``incoming_since_check``, and the observability hook.
+        """
+        meter = self.meter
+        if hit:
+            meter.charge_probe_cache(True)
+        else:
+            if hit is not None:
+                meter.charge_probe_cache(False)
+            meter.index_descends += prepared.descends
+            meter.index_entries += prepared.entries
+            meter.row_fetches += prepared.fetches
+            meter.predicate_evals += prepared.evals
+        matches = prepared.matches
+        if self.monitoring_enabled:
+            try:
+                deltas = prepared.local_deltas
+                if deltas is not None:
+                    counts_list = self.local_counts
+                    for slot, (evaluated, passed) in enumerate(deltas):
+                        if evaluated:
+                            counts = counts_list[slot]
+                            counts[0] += evaluated
+                            counts[1] += passed
+                self.monitor.record_probe(
+                    prepared.index_matches, len(matches), prepared.work
+                )
+                meter.charge_monitor_update()
+                self.incoming_since_check += 1
+            except Exception as exc:
+                self._degrade_monitoring(exc)
+        if self.obs is not None:
+            self.obs.on_probe(self.alias, prepared.index_matches, len(matches))
+            if hit is not None:
+                self.obs.on_probe_cache(self.alias, hit)
         return matches
 
     def _retry_hook(self, site: str):

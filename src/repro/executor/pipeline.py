@@ -104,6 +104,10 @@ class PipelineExecutor:
                 leg.collect_rids = True
         self.order: list[str] = list(plan.order)
         self.schemas = {alias: leg.schema for alias, leg in self.legs.items()}
+        # (alias, column) -> row slot, shared across every leg's probe
+        # compilation and the projection, so repeated recompiles after
+        # reorders never re-resolve schema positions.
+        self._slot_cache: dict[tuple[str, str], int] = {}
         self.join_graph = plan.query.join_graph()
         # Live join selectivities, keyed by column equivalence class: start
         # from optimizer estimates, refined from monitored values (Eq 7).
@@ -143,9 +147,17 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
+    def _slot_of(self, alias: str, column: str) -> int:
+        key = (alias, column)
+        slot = self._slot_cache.get(key)
+        if slot is None:
+            slot = self.schemas[alias].position_of(column)
+            self._slot_cache[key] = slot
+        return slot
+
     def _compile_projection(self) -> Callable[[Binding], tuple[Any, ...]]:
         slots = [
-            (output.alias, self.schemas[output.alias].position_of(output.column))
+            (output.alias, self._slot_of(output.alias, output.column))
             for output in self.plan.projection
         ]
 
@@ -177,6 +189,7 @@ class PipelineExecutor:
                 graph=self.join_graph,
                 schemas=self.schemas,
                 sel_of=self.predicate_selectivity,
+                slot_of=self._slot_of,
             )
         except ExecutionError as exc:
             raise ExecutionError(

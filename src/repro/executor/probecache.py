@@ -1,0 +1,88 @@
+"""Per-leg LRU memoization of join-key probe results.
+
+Skewed join columns make the pipelined NLJN repeat the same inner probe
+many times: every outer row carrying a popular key descends the same index
+range, fetches the same heap rows, and re-evaluates the same residual
+predicates. The probe cache memoizes the *fully filtered* outcome of one
+probe — the match rows plus the charge counts the scalar path would have
+paid — keyed by everything the outcome depends on:
+
+* the access-predicate key extracted from the outer binding, and
+* the outer values of every residual equality join predicate.
+
+The compiled probe configuration (access predicate choice, residual set,
+positional predicate) is part of the outcome too, but instead of folding it
+into the key, the cache is **generation-checked**: every
+``RuntimeLeg.compile_probe`` bumps the leg's ``probe_epoch``, and every
+heap insert bumps the table's ``version``. :meth:`ProbeCache.ensure` flushes
+the cache whenever either moved — this is what invalidates cached matches
+when a driving-leg switch installs a positional predicate on a
+formerly-driving leg (Sec 4.2's no-duplicates guarantee) or when rows are
+appended under the pipeline.
+
+Work accounting contract: a cache *hit* replays the memoized monitor
+observation (so Eq 5–11 estimates and therefore adaptation decisions are
+bit-identical to scalar execution) but skips the execution-unit charges the
+probe would have repeated. Those skipped charges are the cache's entire
+benefit and are auditable through ``WorkMeter.probe_cache_hits``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+CacheKey = Hashable
+
+
+class ProbeCache:
+    """A bounded LRU of prepared probe results for one leg."""
+
+    __slots__ = ("capacity", "hits", "misses", "flushes", "entries", "_epoch", "_version")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("probe cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        # Public on purpose: the turbo hot path reads/updates the LRU
+        # dict directly to skip a method call per probe.
+        self.entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._epoch: int | None = None
+        self._version: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def generation(self) -> tuple[int | None, int | None]:
+        """(probe epoch, table version) the current contents are valid for."""
+        return (self._epoch, self._version)
+
+    def ensure(self, epoch: int, version: int) -> None:
+        """Flush if the leg's probe config or its heap moved on."""
+        if epoch != self._epoch or version != self._version:
+            if self.entries:
+                self.flushes += 1
+                self.entries.clear()
+            self._epoch = epoch
+            self._version = version
+
+    def get(self, key: CacheKey) -> Any | None:
+        entry = self.entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: Any) -> None:
+        # Only misses are put, and a key misses at most once per generation,
+        # so the insert always lands at the recent end — no move needed.
+        entries = self.entries
+        entries[key] = entry
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)

@@ -86,6 +86,12 @@ class QueryObservability:
             self._retries = m.counter(
                 "fault_retries_total", "transient-fault retries by site"
             )
+            self._cache_hits = m.counter(
+                "probe_cache_hits_total", "probe-cache hits by leg"
+            )
+            self._cache_misses = m.counter(
+                "probe_cache_misses_total", "probe-cache misses by leg"
+            )
             self._positions = m.gauge(
                 "leg_position", "current pipeline position of the leg"
             )
@@ -139,6 +145,18 @@ class QueryObservability:
             batch[2] += rows_out
             if batch[0] >= self.probe_batch:
                 self._flush_batch(alias, batch)
+
+    def on_probe_cache(self, alias: str, hit: bool) -> None:
+        """A batched probe consulted the probe cache (hit or miss)."""
+        if self.metrics is not None:
+            (self._cache_hits if hit else self._cache_misses).inc(alias)
+
+    def on_driving_batch(self, alias: str, size: int) -> None:
+        """The batched executor pre-resolved *size* driving rows."""
+        if self.tracer is not None:
+            self.tracer.event(
+                "driving-batch", kind="leg", leg=alias, rows=size
+            )
 
     def on_scan_row(self, alias: str, survived: bool) -> None:
         if self.metrics is not None:

@@ -27,7 +27,7 @@ from repro.storage.table import HeapTable, Row
 Position = tuple[Any, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyRange:
     """A contiguous key range ``low..high`` on an indexed column.
 
@@ -72,6 +72,8 @@ def normalize_ranges(ranges: list[KeyRange]) -> list[KeyRange]:
 class ScanOrder:
     """The total order in which a driving scan visits its table."""
 
+    __slots__ = ("table", "index", "_key_pos")
+
     def __init__(self, table: HeapTable, index: SortedIndex | None = None) -> None:
         self.table = table
         self.index = index
@@ -97,6 +99,8 @@ class ScanOrder:
 
 class TableScanCursor:
     """Full-table scan in RID order, resumable after any RID."""
+
+    __slots__ = ("table", "order", "_next_rid", "last_position", "exhausted")
 
     def __init__(self, table: HeapTable, start_after: Position | None = None) -> None:
         self.table = table
@@ -130,6 +134,17 @@ class IndexScanCursor:
     Ranges are walked in sorted order, so ``last_position`` is monotonically
     non-decreasing across the whole scan even for IN-list predicates.
     """
+
+    __slots__ = (
+        "index",
+        "order",
+        "ranges",
+        "_start_after",
+        "last_position",
+        "exhausted",
+        "_iterator",
+        "_pending",
+    )
 
     def __init__(
         self,

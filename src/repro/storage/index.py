@@ -19,21 +19,85 @@ deterministically cheaper.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.storage.counters import WorkMeter
 from repro.storage.table import HeapTable
 
-# Sentinels that compare below/above every RID (RIDs are non-negative ints).
-_RID_LOW = -1
-_RID_HIGH = float("inf")
+class _AfterAny:
+    """Sentinel that orders strictly after every RID, whatever its type.
+
+    ``float("inf")`` only orders against numbers; if RIDs ever become
+    non-numeric (composite positions, string row ids in tests), a float
+    sentinel inside a ``(key, rid)`` comparison raises ``TypeError`` deep
+    inside ``bisect``. This sentinel compares greater than *anything*
+    except itself, so bound tuples stay totally ordered for any RID type.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<after-any-rid>"
+
+
+class _BeforeAny:
+    """Mirror of :class:`_AfterAny`: orders strictly before every RID."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return other is self
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<before-any-rid>"
+
+
+# Bound sentinels: (key, _RID_LOW) sorts before and (key, _RID_HIGH) after
+# every real (key, rid) entry, for any RID type (see _AfterAny).
+_RID_LOW = _BeforeAny()
+_RID_HIGH = _AfterAny()
 
 Entry = tuple[Any, Any]  # (key, rid)
 
 
 class SortedIndex:
     """A single-column ordered index over a :class:`HeapTable`."""
+
+    __slots__ = ("name", "table", "column", "_column_pos", "_entries", "_built_upto")
 
     def __init__(self, name: str, table: HeapTable, column: str) -> None:
         self.name = name
@@ -80,6 +144,29 @@ class SortedIndex:
                 f"index {self.name!r} is stale: call refresh() after inserts"
             )
 
+    def _range_bounds(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> tuple[int, int]:
+        """Entry-list [lo, hi) bounds of a key range (``None`` = unbounded)."""
+        entries = self._entries
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(entries, (low, _RID_LOW))
+        else:
+            lo = bisect.bisect_right(entries, (low, _RID_HIGH))
+        if high is None:
+            hi = len(entries)
+        elif high_inclusive:
+            hi = bisect.bisect_right(entries, (high, _RID_HIGH))
+        else:
+            hi = bisect.bisect_left(entries, (high, _RID_LOW))
+        return lo, hi
+
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
@@ -94,10 +181,112 @@ class SortedIndex:
         self.meter.charge_index_descend()
         if key is None:
             return []
-        lo = bisect.bisect_left(self._entries, (key, _RID_LOW))
-        hi = bisect.bisect_right(self._entries, (key, _RID_HIGH))
+        lo, hi = self._range_bounds(key, key, True, True)
         self.meter.charge_index_entries(max(hi - lo, 1))
         return [rid for _, rid in self._entries[lo:hi]]
+
+    def lookup_rids_batch(self, keys: Iterable[Any]) -> dict[Any, list[int]]:
+        """Resolve many equality probes in one merged pass (uncharged).
+
+        Distinct non-``None`` keys are sorted and located left-to-right over
+        ``_entries``, each ``bisect`` reusing the previous key's upper bound
+        as its lower search bound — one logical descend per distinct key,
+        never rewinding. The caller (the batched executor) replays the
+        per-probe ``INDEX_DESCEND`` / ``INDEX_ENTRY`` / ``ROW_FETCH``
+        charges at the same logical points the scalar path would, so this
+        method charges nothing itself.
+        """
+        self._check_fresh()
+        entries = self._entries
+        out: dict[Any, list[int]] = {}
+        lo = 0
+        for key in sorted(set(keys)):
+            lo = bisect.bisect_left(entries, (key, _RID_LOW), lo)
+            hi = bisect.bisect_right(entries, (key, _RID_HIGH), lo)
+            out[key] = [rid for _, rid in entries[lo:hi]]
+            lo = hi
+        return out
+
+    def lookup_rids_quiet(self, key: Any) -> list[int]:
+        """RIDs whose indexed column equals *key*, without charging work.
+
+        The batched executor's turbo path charges each chunk's aggregate
+        work itself, so its point lookups go through this uncharged twin of
+        :meth:`lookup_rids`.
+        """
+        self._check_fresh()
+        if key is None:
+            return []
+        lo, hi = self._range_bounds(key, key, True, True)
+        return [rid for _, rid in self._entries[lo:hi]]
+
+    def lookup_rows_quiet(self, key: Any) -> list:
+        """Heap rows whose indexed column equals *key* (uncharged).
+
+        Fuses the rid lookup with the heap read so turbo probes that never
+        need RIDs (no positional predicate — guaranteed in mode ``NONE``)
+        skip one list round-trip per probe. Charge accounting stays with
+        the caller, exactly as for :meth:`lookup_rids_quiet`.
+        """
+        self._check_fresh()
+        if key is None:
+            return []
+        lo, hi = self._range_bounds(key, key, True, True)
+        raw = self.table.raw_rows()
+        return [raw[rid] for _, rid in self._entries[lo:hi]]
+
+    def lookup_rows_batch(self, keys: Iterable[Any]) -> dict[Any, list]:
+        """Row-returning twin of :meth:`lookup_rids_batch` (uncharged).
+
+        Same merged left-to-right descent over the entry list, but the
+        values are heap rows instead of RIDs — for turbo batch probes,
+        which filter on row contents only.
+        """
+        self._check_fresh()
+        entries = self._entries
+        raw = self.table.raw_rows()
+        out: dict[Any, list] = {}
+        lo = 0
+        for key in sorted(set(keys)):
+            lo = bisect.bisect_left(entries, (key, _RID_LOW), lo)
+            hi = bisect.bisect_right(entries, (key, _RID_HIGH), lo)
+            out[key] = [raw[rid] for _, rid in entries[lo:hi]]
+            lo = hi
+        return out
+
+    def filtered_groups(
+        self, tests: list
+    ) -> dict[Any, tuple[list, int, int]]:
+        """Per-key candidate groups pre-filtered through *tests* (uncharged).
+
+        Returns ``key -> (passing rows in (key, rid) order, predicate evals
+        a scalar probe of that key would charge for the local tests, total
+        entry count)``. The eval count reproduces the scalar short-circuit
+        exactly: each row charges one eval per test until the first failure.
+        One pass over the whole index; the turbo executor builds this once
+        per (probe epoch, heap version) and amortizes it over every probe of
+        the leg, instead of re-running the same pure per-row predicates for
+        every outer row that probes the same key.
+        """
+        self._check_fresh()
+        raw = self.table.raw_rows()
+        out: dict[Any, list] = {}
+        get = out.get
+        for key, rid in self._entries:
+            group = get(key)
+            if group is None:
+                group = out[key] = [[], 0, 0]
+            group[2] += 1
+            row = raw[rid]
+            for test in tests:
+                group[1] += 1
+                if not test(row):
+                    break
+            else:
+                group[0].append(row)
+        return {
+            key: (rows, evals, total) for key, (rows, evals, total) in out.items()
+        }
 
     def scan_range(
         self,
@@ -117,22 +306,32 @@ class SortedIndex:
         """
         self._check_fresh()
         self.meter.charge_index_descend()
-        if low is None:
-            lo = 0
-        elif low_inclusive:
-            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
-        else:
-            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
         if start_after is not None:
             lo = max(lo, bisect.bisect_right(self._entries, start_after))
-        if high is None:
-            hi = len(self._entries)
-        elif high_inclusive:
-            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
-        else:
-            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
         for position in range(lo, hi):
             self.meter.charge_index_entries(1)
+            yield self._entries[position]
+
+    def peek_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        start_after: Entry | None = None,
+    ) -> Iterator[Entry]:
+        """Uncharged twin of :meth:`scan_range` (same bounds, same order).
+
+        The batched executor's driving-leg shadow reads ahead through this
+        to learn upcoming scan positions without disturbing work accounting;
+        the real (charging) cursor re-reads the same entries when the rows
+        are actually consumed.
+        """
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
+        if start_after is not None:
+            lo = max(lo, bisect.bisect_right(self._entries, start_after))
+        for position in range(lo, hi):
             yield self._entries[position]
 
     def count_range(
@@ -143,18 +342,7 @@ class SortedIndex:
         high_inclusive: bool = True,
     ) -> int:
         """Entry count in a key range, without charging work (statistics)."""
-        if low is None:
-            lo = 0
-        elif low_inclusive:
-            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
-        else:
-            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
-        if high is None:
-            hi = len(self._entries)
-        elif high_inclusive:
-            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
-        else:
-            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
         return max(hi - lo, 0)
 
     def count_range_after(
@@ -171,20 +359,9 @@ class SortedIndex:
         estimate the *remaining* work of a partially consumed driving scan —
         the equivalent of a B-tree's key-range cardinality estimate.
         """
-        if low is None:
-            lo = 0
-        elif low_inclusive:
-            lo = bisect.bisect_left(self._entries, (low, _RID_LOW))
-        else:
-            lo = bisect.bisect_right(self._entries, (low, _RID_HIGH))
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
         if after is not None:
             lo = max(lo, bisect.bisect_right(self._entries, after))
-        if high is None:
-            hi = len(self._entries)
-        elif high_inclusive:
-            hi = bisect.bisect_right(self._entries, (high, _RID_HIGH))
-        else:
-            hi = bisect.bisect_left(self._entries, (high, _RID_LOW))
         return max(hi - lo, 0)
 
     def distinct_key_count(self) -> int:

@@ -20,6 +20,8 @@ Row = tuple[Any, ...]
 class HeapTable:
     """An in-memory heap of rows for one table."""
 
+    __slots__ = ("schema", "_rows", "meter", "faults", "version")
+
     def __init__(self, schema: TableSchema, meter: WorkMeter | None = None) -> None:
         self.schema = schema
         self._rows: list[Row] = []
@@ -28,6 +30,9 @@ class HeapTable:
         # by every table of a catalog during a chaos run; None in production.
         # Indexes and cursors consult it through their table reference.
         self.faults = None
+        # Monotonic mutation counter; memoizing layers (the probe cache)
+        # compare it to detect that cached match lists may be stale.
+        self.version = 0
 
     @property
     def name(self) -> str:
@@ -44,6 +49,7 @@ class HeapTable:
         """Append a row, returning its RID."""
         row = self.schema.validate_row(values)
         self._rows.append(row)
+        self.version += 1
         return len(self._rows) - 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:

@@ -1,0 +1,126 @@
+"""Differential property tests: the batched path is observably identical.
+
+The batched executor (driving-leg chunks, merged-descent ``probe_batch``,
+optional probe cache, and the mode-NONE turbo path) must be a pure
+performance change. Sweeping batch sizes x cache settings x every
+ReorderMode against the scalar executor, these tests pin down the contract:
+
+* identical result multiset, always;
+* identical adaptation event sequence and order history, always;
+* identical WorkMeter totals with the cache off;
+* with the cache on: identical monitor/reorder/emit counts and execution
+  work no greater than scalar (cache hits may only *save* work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.dmv import four_table_workload, load_dmv, six_table_workload
+
+BATCH_SIZES = (1, 7, 256)
+CACHE_SIZES = (0, 512)
+
+#: WorkMeter fields that must match scalar exactly when no cache is armed.
+EXACT_METER_FIELDS = (
+    "index_descends",
+    "index_entries",
+    "row_fetches",
+    "predicate_evals",
+    "rows_emitted",
+    "monitor_updates",
+    "reorder_checks",
+)
+
+#: Fields that must match scalar even when cache hits skip physical work.
+CACHED_EXACT_FIELDS = ("monitor_updates", "reorder_checks", "rows_emitted")
+
+
+@pytest.fixture(scope="module")
+def dmv():
+    db, _ = load_dmv(scale=0.02, extended=True)
+    return db
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return six_table_workload(count=2) + four_table_workload(
+        queries_per_template=1
+    )
+
+
+@pytest.mark.parametrize("mode", list(ReorderMode), ids=lambda m: m.name.lower())
+def test_batched_matches_scalar(dmv, workload, mode):
+    for query in workload:
+        scalar = dmv.execute(query.sql, AdaptiveConfig(mode=mode))
+        scalar_rows = sorted(scalar.rows)
+        scalar_meter = asdict(scalar.stats.work)
+        for batch_size in BATCH_SIZES:
+            for cache_size in CACHE_SIZES:
+                config = AdaptiveConfig(
+                    mode=mode,
+                    batched=True,
+                    batch_size=batch_size,
+                    probe_cache_size=cache_size,
+                )
+                batched = dmv.execute(query.sql, config)
+                tag = f"{query.qid} bs={batch_size} cache={cache_size}"
+                assert sorted(batched.rows) == scalar_rows, tag
+                assert (
+                    batched.stats.events == scalar.stats.events
+                ), f"adaptation events diverged: {tag}"
+                assert (
+                    batched.stats.order_history == scalar.stats.order_history
+                ), f"order history diverged: {tag}"
+                meter = asdict(batched.stats.work)
+                if cache_size == 0:
+                    for field in EXACT_METER_FIELDS:
+                        assert meter[field] == scalar_meter[field], (
+                            f"meter.{field} diverged: {tag}"
+                        )
+                else:
+                    for field in CACHED_EXACT_FIELDS:
+                        assert meter[field] == scalar_meter[field], (
+                            f"meter.{field} diverged: {tag}"
+                        )
+                    assert (
+                        batched.stats.work.execution_units
+                        <= scalar.stats.work.execution_units
+                    ), f"cache increased execution work: {tag}"
+
+
+def test_probe_cache_actually_hits(dmv, workload):
+    """The cached sweep above is vacuous unless hits really occur."""
+    config = AdaptiveConfig(
+        mode=ReorderMode.NONE,
+        batched=True,
+        batch_size=256,
+        probe_cache_size=512,
+    )
+    total_hits = 0
+    for query in workload:
+        outcome = dmv.execute(query.sql, config)
+        total_hits += outcome.stats.work.probe_cache_hits
+    assert total_hits > 0
+
+
+def test_cache_savings_are_documented_in_meter(dmv, workload):
+    """Execution units saved must be attributable to counted cache hits."""
+    query = workload[0]
+    scalar = dmv.execute(query.sql, AdaptiveConfig(mode=ReorderMode.NONE))
+    cached = dmv.execute(
+        query.sql,
+        AdaptiveConfig(
+            mode=ReorderMode.NONE,
+            batched=True,
+            probe_cache_size=512,
+        ),
+    )
+    saved = (
+        scalar.stats.work.execution_units - cached.stats.work.execution_units
+    )
+    if saved > 0:
+        assert cached.stats.work.probe_cache_hits > 0

@@ -1,0 +1,121 @@
+"""Tests for the per-leg LRU probe cache and its invalidation contract."""
+
+from __future__ import annotations
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.core.controller import AdaptationController
+from repro.executor.batch import BatchedPipelineExecutor
+from repro.executor.probecache import ProbeCache
+
+from tests.conftest import build_three_table_db
+
+SKEW_SQL = (
+    "SELECT o.name FROM Owner o, Car c, Demo d "
+    "WHERE c.ownerid = o.id AND o.id = d.ownerid "
+    "AND c.make = 'Rare' AND o.country = 'DE' AND d.salary < 70000"
+)
+
+
+class TestLRU:
+    def test_put_get_roundtrip(self):
+        cache = ProbeCache(4)
+        cache.ensure(0, 0)
+        cache.put(("k", 1), ["row"])
+        assert cache.get(("k", 1)) == ["row"]
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = ProbeCache(4)
+        cache.ensure(0, 0)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ProbeCache(2)
+        cache.ensure(0, 0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_epoch_move_flushes(self):
+        cache = ProbeCache(4)
+        cache.ensure(1, 0)
+        cache.put("k", "v")
+        cache.ensure(2, 0)  # probe recompiled: a probe means something new
+        assert cache.get("k") is None
+        assert cache.flushes == 1
+
+    def test_heap_version_move_flushes(self):
+        cache = ProbeCache(4)
+        cache.ensure(1, 5)
+        cache.put("k", "v")
+        cache.ensure(1, 6)  # rows appended under the pipeline
+        assert cache.get("k") is None
+        assert cache.flushes == 1
+
+    def test_ensure_same_generation_keeps_contents(self):
+        cache = ProbeCache(4)
+        cache.ensure(1, 5)
+        cache.put("k", "v")
+        cache.ensure(1, 5)
+        assert cache.get("k") == "v"
+        assert cache.flushes == 0
+
+
+class TestDrivingSwitchInvalidation:
+    """Sec 4.2: a driving switch recompiles probes and installs positional
+    predicates; stale cached matches would duplicate or drop rows."""
+
+    def run_batched(self, db, config):
+        plan = db.plan(SKEW_SQL)
+        controller = (
+            AdaptationController(config) if config.mode.monitors else None
+        )
+        executor = BatchedPipelineExecutor(plan, db.catalog, config, controller)
+        if controller is not None:
+            controller.attach(executor)
+        rows = executor.run_to_completion()
+        return executor, rows
+
+    def test_switch_flushes_cache_and_preserves_results(self):
+        db = build_three_table_db(owners=2000, seed=42)
+        scalar = db.execute(SKEW_SQL, AdaptiveConfig(mode=ReorderMode.NONE))
+        config = AdaptiveConfig(
+            mode=ReorderMode.BOTH,
+            batched=True,
+            batch_size=7,
+            probe_cache_size=64,
+        )
+        executor, rows = self.run_batched(db, config)
+        # The scenario is only meaningful if a driving switch actually fired
+        # and installed a positional predicate on the formerly-driving leg.
+        assert executor.driving_switches >= 1
+        assert any(
+            leg.positional is not None for leg in executor.legs.values()
+        )
+        # No duplicates, no lost rows: exactly the scalar multiset.
+        assert sorted(rows) == sorted(scalar.rows)
+        # The recompile moved every leg's probe epoch; caches that held
+        # entries across the switch must have flushed.
+        assert sum(c.flushes for c in executor.probe_caches.values()) >= 1
+
+    def test_cache_generation_tracks_final_epoch(self):
+        db = build_three_table_db(owners=2000, seed=42)
+        config = AdaptiveConfig(
+            mode=ReorderMode.BOTH,
+            batched=True,
+            batch_size=7,
+            probe_cache_size=64,
+        )
+        executor, _ = self.run_batched(db, config)
+        for alias, cache in executor.probe_caches.items():
+            if cache.generation == (None, None):
+                continue  # never consulted (e.g. the driving leg)
+            leg = executor.legs[alias]
+            assert cache.generation == (leg.probe_epoch, leg.table.version)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.index import SortedIndex
+from repro.storage.index import SortedIndex, _RID_HIGH
 from repro.storage.schema import Column, TableSchema
 from repro.storage.table import HeapTable
 from repro.storage.types import ColumnType
@@ -146,3 +146,128 @@ class TestStringKeys:
         index = SortedIndex("ix", table, "k")
         keys = [k for k, _ in index.scan_range()]
         assert keys == ["Chevrolet", "Ford", "Mercedes"]
+
+
+def make_string_indexed_table(values):
+    schema = TableSchema(
+        "s", [Column("k", ColumnType.STRING), Column("v", ColumnType.INT)]
+    )
+    table = HeapTable(schema)
+    table.insert_many([(value, i) for i, value in enumerate(values)])
+    return table, SortedIndex("ix", table, "k")
+
+
+class TestAfterAnySentinel:
+    """The upper RID bound must order after *any* RID type.
+
+    A ``float("inf")`` sentinel only orders against numbers: with equal
+    keys, ``(key, inf) > (key, rid)`` raises ``TypeError`` deep inside
+    ``bisect`` the moment RIDs are not numeric. The dedicated sentinel
+    compares greater than everything except itself.
+    """
+
+    def test_orders_after_every_type(self):
+        for rid in (0, 10**9, -3, 1.5, "rid-7", ("page", 3), None):
+            assert _RID_HIGH > rid
+            assert _RID_HIGH >= rid
+            assert not _RID_HIGH < rid
+            assert not _RID_HIGH <= rid
+            assert rid < _RID_HIGH  # reflected comparison, as bisect uses it
+            assert _RID_HIGH != rid
+
+    def test_identity_semantics(self):
+        assert _RID_HIGH == _RID_HIGH
+        assert _RID_HIGH <= _RID_HIGH
+        assert _RID_HIGH >= _RID_HIGH
+        assert not _RID_HIGH > _RID_HIGH
+        assert hash(_RID_HIGH) == hash(_RID_HIGH)
+
+    def test_bisect_with_adversarial_rid_types(self):
+        """Regression: bound tuples must stay totally ordered for any RID."""
+        _, index = make_indexed_table([1, 1, 2])
+        # Simulate an index whose RIDs are strings and tuples (composite
+        # positions) — the shapes the float sentinel chokes on.
+        index._entries = [
+            (1, ("page", 0)),
+            (1, ("page", 4)),
+            (2, "row-a"),
+            (2, "row-b"),
+        ]
+        assert index._range_bounds(1, 1, True, True) == (0, 2)
+        assert index._range_bounds(2, 2, True, True) == (2, 4)
+        assert index._range_bounds(1, 2, False, True) == (2, 4)
+
+    def test_duplicate_string_keys_boundary_lookup(self):
+        _, index = make_string_indexed_table(["b", "a", "b", "c", "b"])
+        assert index.lookup_rids("b") == [0, 2, 4]
+        assert index.lookup_rids("a") == [1]
+        assert index.lookup_rids("zz") == []
+
+
+class TestQuietLookups:
+    def test_lookup_rids_quiet_matches_charged_twin(self):
+        table, index = make_indexed_table([5, 7, 5, 9])
+        for key in (5, 7, 9, 42, None):
+            assert index.lookup_rids_quiet(key) == index.lookup_rids(key)
+
+    def test_lookup_rids_quiet_charges_nothing(self):
+        table, index = make_indexed_table([5, 7, 5])
+        before = table.meter.snapshot()
+        index.lookup_rids_quiet(5)
+        delta = table.meter - before
+        assert delta.index_descends == 0
+        assert delta.index_entries == 0
+
+    def test_lookup_rows_quiet_returns_heap_rows(self):
+        table, index = make_indexed_table([5, 7, 5])
+        raw = table.raw_rows()
+        assert index.lookup_rows_quiet(5) == [raw[0], raw[2]]
+        assert index.lookup_rows_quiet(None) == []
+
+    def test_lookup_rids_batch_matches_pointwise(self):
+        table, index = make_indexed_table([5, 7, 5, 9, 7])
+        keys = [7, 5, 5, 42, 9]  # unsorted, with duplicates and a miss
+        batch = index.lookup_rids_batch(keys)
+        for key in set(keys):
+            assert batch[key] == index.lookup_rids(key)
+
+    def test_lookup_rows_batch_matches_pointwise(self):
+        table, index = make_indexed_table([5, 7, 5, 9])
+        raw = table.raw_rows()
+        batch = index.lookup_rows_batch([9, 5])
+        assert batch == {5: [raw[0], raw[2]], 9: [raw[3]]}
+
+    def test_batch_lookups_charge_nothing(self):
+        table, index = make_indexed_table([5, 7, 5])
+        before = table.meter.snapshot()
+        index.lookup_rids_batch([5, 7])
+        index.lookup_rows_batch([5, 7])
+        delta = table.meter - before
+        assert delta.index_descends == 0
+        assert delta.index_entries == 0
+        assert delta.row_fetches == 0
+
+
+class TestFilteredGroups:
+    def test_groups_filter_and_count_evals(self):
+        table, index = make_indexed_table([5, 5, 7])
+        # Rows: (5,"v0") rid0, (5,"v1") rid1, (7,"v2") rid2.
+        tests = [lambda row: row[1] != "v0"]
+        groups = index.filtered_groups(tests)
+        raw = table.raw_rows()
+        assert groups[5] == ([raw[1]], 2, 2)  # one eval per candidate row
+        assert groups[7] == ([raw[2]], 1, 1)
+
+    def test_short_circuit_eval_counts(self):
+        table, index = make_indexed_table([5, 5])
+        fails_first = [lambda row: False, lambda row: True]
+        groups = index.filtered_groups(fails_first)
+        # Each row charges only the first (failing) test: 1 eval per row.
+        assert groups[5] == ([], 2, 2)
+
+    def test_empty_tests_pass_everything(self):
+        table, index = make_indexed_table([5, 7])
+        raw = table.raw_rows()
+        groups = index.filtered_groups([])
+        assert groups[5] == ([raw[0]], 0, 1)
+        assert groups[7] == ([raw[1]], 0, 1)
