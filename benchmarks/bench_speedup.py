@@ -1,9 +1,12 @@
-"""Wall-clock speedup of the batched executor on the six-table DMV workload.
+"""Speedup of the fast adaptive modes on the six-table DMV workload.
 
-Measures three variants of the same workload:
+Measures three executor variants of the same workload per reorder mode:
 
 * ``scalar``  — the row-at-a-time pipeline (the paper's executor),
-* ``batched`` — driving-leg batches + merged-descent ``probe_batch``,
+* ``batched`` — driving-leg batches + merged-descent ``probe_batch``;
+  monitored modes run it with ``monitor_granularity="chunk"`` (the fast
+  adaptive mode: O(1)-per-chunk window updates, checks at chunk
+  boundaries),
 * ``cached``  — batched plus the per-leg LRU probe cache.
 
 Variant reps are interleaved (scalar, batched, cached, scalar, ...) and the
@@ -12,20 +15,30 @@ alike instead of biasing whichever ran last. Every variant's result rows are
 checked against scalar's per query — a speedup that changes answers must
 fail loudly, not report numbers.
 
+A second section sweeps ``workers`` in {1, 2, 4} over a *scan-heavy*
+workload (driving legs with thousands of entries — the six-table templates
+drive from the 200-row Location table, where single hot entries bound any
+partitioned speedup). Parallel speedup is reported on the deterministic
+work-unit critical path (``ExecutionStats.critical_path_work``), the
+machine-independent analogue of parallel elapsed time — this container may
+not have enough cores for wall-clock parallelism.
+
 Results go to ``BENCH_speedup.json`` at the repo root (atomic write), so the
-perf trajectory of future PRs is recorded. Exits non-zero under ``--check``
-if the batched path is slower than scalar by more than 10% — a regression
-guard, not a strict speedup gate.
+perf trajectory of future PRs is recorded. Any mode whose speedup regresses
+vs the stored baseline is reported loudly on stderr; under ``--check`` the
+process also exits non-zero if the batched path is slower than scalar by
+more than 10%.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_speedup.py           # full run
+    PYTHONPATH=src python benchmarks/bench_speedup.py --adaptive  # full run
     PYTHONPATH=src python benchmarks/bench_speedup.py --quick --check  # CI
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -39,18 +52,54 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: --check fails when batched exceeds scalar time by more than this factor.
 CHECK_TOLERANCE = 1.10
 
+#: A stored-baseline speedup may drift down by this factor before the
+#: regression report fires (wall-clock noise allowance).
+REGRESSION_TOLERANCE = 0.90
+
+#: Scan-heavy queries for the workers sweep: driving scans with thousands
+#: of entries partition well; the six-table templates (driving from the
+#: 200-row Location table) are skew-bound and stay in the wall-clock
+#: section above.
+PARALLEL_WORKLOAD = [
+    (
+        "own-car",
+        "SELECT o.name, c.make FROM Car c, Owner o "
+        "WHERE c.ownerid = o.id AND c.year >= 2005",
+    ),
+    (
+        "own-car-dem",
+        "SELECT o.name, c.make FROM Demographics d, Owner o, Car c "
+        "WHERE d.ownerid = o.id AND c.ownerid = o.id AND d.salary > 50000",
+    ),
+    (
+        "acc-car-own",
+        "SELECT o.name, x.damage FROM Accidents x, Car c, Owner o "
+        "WHERE x.carid = c.id AND c.ownerid = o.id AND x.year >= 2000",
+    ),
+]
+
 
 def build_variants(
     mode: ReorderMode, batch_size: int, cache_size: int
 ) -> dict[str, AdaptiveConfig]:
+    # Monitored modes get the amortized chunk-granularity windows — the
+    # fast adaptive mode this benchmark exists to measure. Mode NONE has
+    # no monitors, so granularity is irrelevant there.
+    granularity = "chunk" if mode.monitors else "exact"
     return {
         "scalar": AdaptiveConfig(mode=mode),
-        "batched": AdaptiveConfig(mode=mode, batched=True, batch_size=batch_size),
+        "batched": AdaptiveConfig(
+            mode=mode,
+            batched=True,
+            batch_size=batch_size,
+            monitor_granularity=granularity,
+        ),
         "cached": AdaptiveConfig(
             mode=mode,
             batched=True,
             batch_size=batch_size,
             probe_cache_size=cache_size,
+            monitor_granularity=granularity,
         ),
     }
 
@@ -86,6 +135,93 @@ def measure_mode(db, queries, variants, reps: int) -> dict[str, dict]:
     return meters
 
 
+def measure_parallel(
+    db, workload, workers_sweep: tuple[int, ...], modes
+) -> dict[str, dict]:
+    """Critical-path work-unit speedups for the workers sweep.
+
+    Speedup of ``workers=N`` is (workers=1 total work) / (workers=N
+    critical-path work) summed over the workload — deterministic, so no
+    reps are needed. Result rows are verified against the serial run.
+    """
+    section: dict[str, dict] = {}
+    for mode in modes:
+        base_work = 0.0
+        reference: dict[str, list] = {}
+        for qid, sql in workload:
+            outcome = db.execute(sql, AdaptiveConfig(mode=mode))
+            base_work += outcome.stats.work.total_units
+            reference[qid] = sorted(outcome.rows)
+        entry: dict = {"workers_1_work_units": base_work, "sweep": {}}
+        for workers in workers_sweep:
+            if workers < 2:
+                continue
+            critical = 0.0
+            partitioned = 0
+            for qid, sql in workload:
+                outcome = db.execute(
+                    sql, AdaptiveConfig(mode=mode, workers=workers)
+                )
+                if sorted(outcome.rows) != reference[qid]:
+                    raise AssertionError(
+                        f"{qid}: workers={workers} changed the result set"
+                    )
+                if outcome.stats.critical_path_work is not None:
+                    critical += outcome.stats.critical_path_work
+                    partitioned += 1
+                else:
+                    # Fallback to serial: charge full work to the path.
+                    critical += outcome.stats.work.total_units
+            entry["sweep"][str(workers)] = {
+                "critical_path_work_units": critical,
+                "queries_partitioned": partitioned,
+                "speedup_vs_workers_1": base_work / critical,
+            }
+        section[mode.name.lower()] = entry
+    return section
+
+
+def report_regressions(output_path: str, payload: dict) -> list[str]:
+    """Compare against the stored baseline; return loud human lines."""
+    path = pathlib.Path(output_path)
+    if not path.exists():
+        return []
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    lines: list[str] = []
+    for mode, meters in payload.get("modes", {}).items():
+        old_meters = baseline.get("modes", {}).get(mode, {})
+        for variant, data in meters.items():
+            new = data.get("speedup_vs_scalar")
+            old = old_meters.get(variant, {}).get("speedup_vs_scalar")
+            if new is None or old is None:
+                continue
+            if new < old * REGRESSION_TOLERANCE:
+                lines.append(
+                    f"REGRESSION: mode {mode} variant {variant} speedup "
+                    f"{new:.2f}x < stored baseline {old:.2f}x"
+                )
+    for mode, entry in payload.get("parallel", {}).items():
+        old_entry = baseline.get("parallel", {}).get(mode, {})
+        for workers, data in entry.get("sweep", {}).items():
+            new = data.get("speedup_vs_workers_1")
+            old = (
+                old_entry.get("sweep", {})
+                .get(workers, {})
+                .get("speedup_vs_workers_1")
+            )
+            if new is None or old is None:
+                continue
+            if new < old * REGRESSION_TOLERANCE:
+                lines.append(
+                    f"REGRESSION: parallel mode {mode} workers={workers} "
+                    f"speedup {new:.2f}x < stored baseline {old:.2f}x"
+                )
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.1, help="DMV scale factor")
@@ -102,6 +238,11 @@ def main(argv: list[str] | None = None) -> int:
         "--adaptive",
         action="store_true",
         help="also measure mode BOTH (adaptive reordering) variants",
+    )
+    parser.add_argument(
+        "--workers-sweep",
+        default="1,2,4",
+        help="comma-separated worker counts for the parallel section",
     )
     parser.add_argument(
         "--quick",
@@ -124,6 +265,9 @@ def main(argv: list[str] | None = None) -> int:
         args.scale = min(args.scale, 0.05)
         args.count = min(args.count, 3)
         args.reps = min(args.reps, 3)
+    workers_sweep = tuple(
+        int(part) for part in args.workers_sweep.split(",") if part.strip()
+    )
 
     db, summary = load_dmv(scale=args.scale, extended=True)
     queries = six_table_workload(count=args.count)
@@ -160,8 +304,32 @@ def main(argv: list[str] | None = None) -> int:
         if mode is ReorderMode.NONE and batched > scalar * CHECK_TOLERANCE:
             check_failed = True
 
+    parallel_workload = (
+        PARALLEL_WORKLOAD[:1] if args.quick else PARALLEL_WORKLOAD
+    )
+    parallel_sweep = (
+        tuple(w for w in workers_sweep if w <= 2)
+        if args.quick
+        else workers_sweep
+    )
+    payload["parallel"] = measure_parallel(
+        db, parallel_workload, parallel_sweep, modes
+    )
+    for mode_name, entry in payload["parallel"].items():
+        line = f"parallel {mode_name:8s} w1={entry['workers_1_work_units']:,.0f} units"
+        for workers, data in entry["sweep"].items():
+            line += (
+                f" w{workers}={data['speedup_vs_workers_1']:.2f}x"
+            )
+        print(line)
+
+    regressions = report_regressions(args.output, payload)
+    for line in regressions:
+        print(line, file=sys.stderr)
+
     write_json_atomic(args.output, payload)
     print(f"wrote {args.output}")
+    db.close()
     if args.check and check_failed:
         print(
             f"CHECK FAILED: batched path slower than scalar by more than "

@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies the batched executor)",
     )
     query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the adaptive execution range-partitioned across N worker "
+        "processes (driving switches become coordinator barrier decisions)",
+    )
+    query.add_argument(
         "--fault-plan",
         default=None,
         metavar="JSON",
@@ -178,13 +186,18 @@ def _make_config(mode: ReorderMode, cli_args) -> AdaptiveConfig:
     """AdaptiveConfig for *mode* with the CLI's executor knobs applied."""
     batch_size = getattr(cli_args, "batch_size", None)
     probe_cache = getattr(cli_args, "probe_cache", None)
-    if batch_size is None and probe_cache is None:
-        return AdaptiveConfig(mode=mode)
-    kwargs: dict = {"mode": mode, "batched": True}
-    if batch_size is not None:
-        kwargs["batch_size"] = batch_size
-    if probe_cache is not None:
-        kwargs["probe_cache_size"] = probe_cache
+    workers = getattr(cli_args, "workers", 1) or 1
+    kwargs: dict = {"mode": mode}
+    if workers > 1 and mode is not ReorderMode.NONE:
+        # The static baseline stays serial so work comparisons keep meaning;
+        # the adaptive run gets the partitioned path.
+        kwargs["workers"] = workers
+    if batch_size is not None or probe_cache is not None:
+        kwargs["batched"] = True
+        if batch_size is not None:
+            kwargs["batch_size"] = batch_size
+        if probe_cache is not None:
+            kwargs["probe_cache_size"] = probe_cache
     return AdaptiveConfig(**kwargs)
 
 
@@ -231,6 +244,16 @@ def _run_query(
               f"results {'match' if matches else 'MISMATCH!'}")
         speedup = static.stats.total_work / max(adaptive.stats.total_work, 1e-9)
         print(f"speedup:  {speedup:12.2f}x")
+        if adaptive.stats.critical_path_work is not None:
+            parallel = static.stats.total_work / max(
+                adaptive.stats.critical_path_work, 1e-9
+            )
+            print(
+                f"parallel: {parallel:12.2f}x critical-path speedup over "
+                f"the serial baseline ({adaptive.stats.workers} workers, "
+                f"{adaptive.stats.critical_path_work:,.0f} critical-path "
+                f"work units)"
+            )
         if adaptive.stats.degraded:
             print("DEGRADED: the adaptive layer failed and was disabled; "
                   "the query completed on its static order")

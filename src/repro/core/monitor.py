@@ -15,12 +15,24 @@ The driving leg has no "incoming rows"; :class:`DrivingMonitor` instead
 tracks scan progress (entries read, rows surviving locals) so the controller
 can estimate the *remaining* work of the current plan (Fig 3 step 2) and the
 residual local selectivity of the leg.
+
+Storage layout: both monitors keep their window in preallocated **ring
+buffers** (three parallel scalar arrays indexed by ``lifetime % size``)
+rather than a deque of sample objects. A single observation is one slot
+overwrite with no allocation, and :meth:`SlidingWindow.observe_many` /
+:meth:`DrivingMonitor.observe_many` fold a whole executor chunk into the
+window in one call. The running sums use the exact same
+add-new-then-subtract-evicted float arithmetic as one-at-a-time updates, so
+windowed estimates — and therefore adaptation decisions and recorded
+events — are bit-identical whether observations arrive per row or per
+chunk.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 
 @dataclass
@@ -33,32 +45,195 @@ class ProbeSample:
 
 
 class SlidingWindow:
-    """Aggregates :class:`ProbeSample` totals over the last ``w`` samples."""
+    """Aggregates probe counters over the last ``w`` samples (ring buffer)."""
+
+    __slots__ = (
+        "size",
+        "_matches",
+        "_output",
+        "_work",
+        "_sum_matches",
+        "_sum_output",
+        "_sum_work",
+        "lifetime_samples",
+    )
 
     def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError("window size must be >= 1")
         self.size = size
-        self._samples: deque[ProbeSample] = deque()
+        self._matches = [0] * size
+        self._output = [0] * size
+        self._work = [0.0] * size
         self._sum_matches = 0
         self._sum_output = 0
         self._sum_work = 0.0
         self.lifetime_samples = 0
 
-    def add(self, sample: ProbeSample) -> None:
-        self._samples.append(sample)
-        self._sum_matches += sample.index_matches
-        self._sum_output += sample.output_rows
-        self._sum_work += sample.work_units
+    def observe(
+        self, index_matches: int, output_rows: int, work_units: float
+    ) -> None:
+        """Fold one sample into the window (O(1), no allocation)."""
+        slot = self.lifetime_samples % self.size
+        # Same arithmetic order as the historical deque implementation:
+        # add the new sample, then evict the expired one — float sums stay
+        # bit-identical to per-row scalar monitoring.
+        self._sum_matches += index_matches
+        self._sum_output += output_rows
+        self._sum_work += work_units
+        if self.lifetime_samples >= self.size:
+            self._sum_matches -= self._matches[slot]
+            self._sum_output -= self._output[slot]
+            self._sum_work -= self._work[slot]
+        self._matches[slot] = index_matches
+        self._output[slot] = output_rows
+        self._work[slot] = work_units
         self.lifetime_samples += 1
-        if len(self._samples) > self.size:
-            expired = self._samples.popleft()
-            self._sum_matches -= expired.index_matches
-            self._sum_output -= expired.output_rows
-            self._sum_work -= expired.work_units
+
+    def observe_many(
+        self, samples: Iterable[tuple[int, int, float]]
+    ) -> None:
+        """Fold a chunk of (matches, output, work) samples into the window.
+
+        One call per executor chunk amortizes attribute lookups and method
+        dispatch over the whole chunk; the per-slot arithmetic is identical
+        to calling :meth:`observe` in a loop, so estimates stay exact.
+        """
+        matches_ring = self._matches
+        output_ring = self._output
+        work_ring = self._work
+        size = self.size
+        lifetime = self.lifetime_samples
+        sum_matches = self._sum_matches
+        sum_output = self._sum_output
+        sum_work = self._sum_work
+        for index_matches, output_rows, work_units in samples:
+            slot = lifetime % size
+            sum_matches += index_matches
+            sum_output += output_rows
+            sum_work += work_units
+            if lifetime >= size:
+                sum_matches -= matches_ring[slot]
+                sum_output -= output_ring[slot]
+                sum_work -= work_ring[slot]
+            matches_ring[slot] = index_matches
+            output_ring[slot] = output_rows
+            work_ring[slot] = work_units
+            lifetime += 1
+        self._sum_matches = sum_matches
+        self._sum_output = sum_output
+        self._sum_work = sum_work
+        self.lifetime_samples = lifetime
+
+    def add(self, sample: ProbeSample) -> None:
+        """Compatibility shim for sample-object callers."""
+        self.observe(sample.index_matches, sample.output_rows, sample.work_units)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return min(self.lifetime_samples, self.size)
+
+    @property
+    def sum_matches(self) -> int:
+        return self._sum_matches
+
+    @property
+    def sum_output(self) -> int:
+        return self._sum_output
+
+    @property
+    def sum_work(self) -> float:
+        return self._sum_work
+
+
+class AggregatedWindow:
+    """Chunk-granular sliding window: one weighted entry per executor chunk.
+
+    The amortized (``monitor_granularity="chunk"``) twin of
+    :class:`SlidingWindow`: :meth:`observe_chunk` folds a whole chunk of
+    ``n`` samples into the window as a single ``(n, sums)`` aggregate — an
+    O(1) ring update per *chunk* rather than per sample. Eviction drops
+    whole aggregates, so the window covers the most recent chunks whose
+    sample count is at least ``size``; it can transiently hold up to one
+    chunk more than ``size`` samples. Estimates are therefore within the
+    skew of one chunk of a per-sample window — the documented accuracy
+    contract of the fast adaptive mode.
+
+    When every aggregate has ``n == 1`` (e.g. the scalar fallback path
+    observing per row) the eviction boundary is exact and estimates match
+    :class:`SlidingWindow` bit for bit.
+    """
+
+    __slots__ = (
+        "size",
+        "_chunks",
+        "_sum_matches",
+        "_sum_output",
+        "_sum_work",
+        "_samples",
+        "lifetime_samples",
+    )
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        # (n, matches, output, work) aggregates, oldest first.
+        self._chunks: deque[tuple[int, int, int, float]] = deque()
+        self._sum_matches = 0
+        self._sum_output = 0
+        self._sum_work = 0.0
+        self._samples = 0
+        self.lifetime_samples = 0
+
+    def observe_chunk(
+        self, n: int, matches: int, output_rows: int, work_units: float
+    ) -> None:
+        """Fold a chunk of ``n`` samples in as one aggregate (O(1))."""
+        if n <= 0:
+            return
+        chunks = self._chunks
+        chunks.append((n, matches, output_rows, work_units))
+        self._sum_matches += matches
+        self._sum_output += output_rows
+        self._sum_work += work_units
+        samples = self._samples + n
+        size = self.size
+        while samples - chunks[0][0] >= size:
+            old_n, old_m, old_o, old_w = chunks.popleft()
+            samples -= old_n
+            self._sum_matches -= old_m
+            self._sum_output -= old_o
+            self._sum_work -= old_w
+        self._samples = samples
+        self.lifetime_samples += n
+
+    def observe(
+        self, index_matches: int, output_rows: int, work_units: float
+    ) -> None:
+        """Single-sample observation (an ``n=1`` aggregate)."""
+        self.observe_chunk(1, index_matches, output_rows, work_units)
+
+    def observe_many(
+        self, samples: Iterable[tuple[int, int, float]]
+    ) -> None:
+        """Fold per-sample records in as one combined aggregate."""
+        n = 0
+        matches = 0
+        output = 0
+        work = 0.0
+        for index_matches, output_rows, work_units in samples:
+            n += 1
+            matches += index_matches
+            output += output_rows
+            work += work_units
+        self.observe_chunk(n, matches, output, work)
+
+    def add(self, sample: ProbeSample) -> None:
+        """Compatibility shim for sample-object callers."""
+        self.observe(sample.index_matches, sample.output_rows, sample.work_units)
+
+    def __len__(self) -> int:
+        return self._samples
 
     @property
     def sum_matches(self) -> int:
@@ -76,8 +251,12 @@ class SlidingWindow:
 class LegMonitor:
     """Windowed monitor for one leg acting as an inner leg."""
 
-    def __init__(self, window: int) -> None:
-        self.window = SlidingWindow(window)
+    __slots__ = ("window",)
+
+    def __init__(self, window: int, aggregated: bool = False) -> None:
+        self.window: SlidingWindow | AggregatedWindow = (
+            AggregatedWindow(window) if aggregated else SlidingWindow(window)
+        )
 
     @property
     def incoming_rows(self) -> int:
@@ -90,11 +269,28 @@ class LegMonitor:
     def record_probe(
         self, index_matches: int, output_rows: int, work_units: float
     ) -> None:
-        self.window.add(ProbeSample(index_matches, output_rows, work_units))
+        self.window.observe(index_matches, output_rows, work_units)
+
+    def observe_many(
+        self, samples: Iterable[tuple[int, int, float]]
+    ) -> None:
+        """Bulk twin of :meth:`record_probe` for chunked executors."""
+        self.window.observe_many(samples)
+
+    def observe_chunk(
+        self, n: int, matches: int, output_rows: int, work_units: float
+    ) -> None:
+        """Amortized chunk observation (:class:`AggregatedWindow` only)."""
+        self.window.observe_chunk(n, matches, output_rows, work_units)
 
     def reset(self) -> None:
-        """Drop history (used when the leg's probe configuration changes)."""
-        self.window = SlidingWindow(self.window.size)
+        """Drop history (used when the leg's probe configuration changes).
+
+        Type-preserving: an aggregated window resets to an aggregated
+        window, so the configured monitor granularity survives probe
+        recompiles (reorders, driving switches).
+        """
+        self.window = type(self.window)(self.window.size)
 
     # -- derived estimates (None when no data yet) -----------------------
     def join_cardinality(self) -> float | None:
@@ -132,25 +328,65 @@ class LegMonitor:
 class DrivingMonitor:
     """Scan-progress monitor for the leg currently driving the pipeline."""
 
+    __slots__ = (
+        "window",
+        "_survived_ring",
+        "entries_scanned",
+        "rows_survived",
+        "_recent_scanned",
+        "_recent_survived",
+    )
+
     def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window size must be >= 1")
         self.window = window
-        self._recent: deque[tuple[int, int]] = deque()  # (scanned, survived)
+        self._survived_ring = [0] * window
         self.entries_scanned = 0       # rows out of the access method
         self.rows_survived = 0         # rows surviving residual locals
         self._recent_scanned = 0
         self._recent_survived = 0
 
     def record_scanned(self, survived: bool) -> None:
+        lived = 1 if survived else 0
+        slot = self.entries_scanned % self.window
+        if self.entries_scanned >= self.window:
+            self._recent_survived -= self._survived_ring[slot]
+        else:
+            self._recent_scanned += 1
+        self._survived_ring[slot] = lived
+        self._recent_survived += lived
         self.entries_scanned += 1
-        if survived:
-            self.rows_survived += 1
-        self._recent.append((1, 1 if survived else 0))
-        self._recent_scanned += 1
-        self._recent_survived += 1 if survived else 0
-        if len(self._recent) > self.window:
-            scanned, lived = self._recent.popleft()
-            self._recent_scanned -= scanned
-            self._recent_survived -= lived
+        self.rows_survived += lived
+
+    def observe_many(self, survived_flags: Sequence[bool]) -> None:
+        """Fold a chunk of per-row survival flags into the window.
+
+        Exact bulk twin of calling :meth:`record_scanned` once per flag —
+        the ring keeps each row's flag so mid-chunk window boundaries
+        evict precisely the rows a scalar run would have evicted.
+        """
+        ring = self._survived_ring
+        window = self.window
+        scanned = self.entries_scanned
+        recent_survived = self._recent_survived
+        recent_scanned = self._recent_scanned
+        survived_total = 0
+        for survived in survived_flags:
+            lived = 1 if survived else 0
+            slot = scanned % window
+            if scanned >= window:
+                recent_survived -= ring[slot]
+            else:
+                recent_scanned += 1
+            ring[slot] = lived
+            recent_survived += lived
+            scanned += 1
+            survived_total += lived
+        self.entries_scanned = scanned
+        self.rows_survived += survived_total
+        self._recent_scanned = recent_scanned
+        self._recent_survived = recent_survived
 
     def residual_selectivity(self) -> float | None:
         """Windowed S_LPR of the driving leg's residual local predicates."""

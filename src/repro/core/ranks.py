@@ -47,7 +47,18 @@ def remaining_scan_fraction(
     Reads only index/heap metadata (entry counts after the cursor's
     position) — the analogue of a B-tree key-range estimate, never touching
     row data.
+
+    A partition-bounded cursor (``partition_entry_count`` set by the
+    parallel partitioner) is measured against its own slice: the fraction is
+    computed from entries yielded within the bounds, so each worker's cost
+    model reasons about *its* remaining work rather than the whole scan's.
     """
+    partition_total = getattr(cursor, "partition_entry_count", None)
+    if partition_total is not None:
+        if partition_total == 0:
+            return 0.0
+        remaining = partition_total - cursor.entries_yielded
+        return max(remaining, 0) / partition_total
     if isinstance(cursor, TableScanCursor):
         total = len(cursor.table)
         if total == 0:
@@ -228,68 +239,101 @@ class RuntimeModelBuilder:
         return sel_index, min(residual, 1.0)
 
     def build_provider(self) -> ModelProvider:
-        """Snapshot the pipeline into a calibrated :class:`ModelProvider`."""
+        """Snapshot the pipeline into a calibrated :class:`ModelProvider`.
+
+        Model construction is **lazy**: a leg's :class:`TableModel` (and its
+        calibration against the monitors) is built the first time the order
+        search touches that leg. A reorder check at a deep pipeline position
+        only evaluates the depleted suffix, so most checks build two or
+        three models instead of one per leg — the dominant per-check cost
+        in the profile. Calibration stays exact: a leg's calibrated
+        (JC, PC) at any position is its uncalibrated value times its
+        correction factors (``x * 1.0 == x`` and the correction multiplies
+        last in ``inner_params``), so the uncalibrated evaluation done
+        during calibration seeds the provider's memo with the corrected
+        value instead of being recomputed.
+        """
         pipeline = self.pipeline
+        builder = self
         warmup = self.config.warmup_rows
         hash_probes = (
             pipeline.config.hash_probe_policy is not HashProbePolicy.OFF
         )
-        models: dict[str, TableModel] = {}
-        for alias in pipeline.order:
-            leg = pipeline.legs[alias]
-            plan_leg = leg.plan_leg
-            sel_index, sel_residual = self._local_selectivities(alias)
-            models[alias] = TableModel(
-                alias=alias,
-                base_cardinality=leg.base_cardinality,
-                sel_local_index=sel_index,
-                sel_local_residual=sel_residual,
-                local_predicate_count=len(plan_leg.local_predicates),
-                indexed_columns=frozenset(leg.indexes),
-                driving_kind=plan_leg.driving.kind,
-                driving_range_count=max(len(plan_leg.driving.ranges), 1),
-                remaining_fraction=self._remaining_fraction(alias),
-                hash_probes=hash_probes,
-            )
-        uncalibrated = ModelProvider(
-            models, pipeline.class_selectivities, pipeline.join_graph
-        )
-        # Calibrate each warm inner leg against its current position.
+        legs = pipeline.legs
         order = pipeline.order
-        for position, alias in enumerate(order):
-            if position == 0:
-                continue
-            leg = pipeline.legs[alias]
-            if leg.monitor.lifetime_incoming < warmup:
-                continue
-            jc_measured = leg.monitor.join_cardinality()
-            pc_measured = leg.monitor.probe_cost()
-            bound = frozenset(order[:position])
-            jc_model, pc_model = uncalibrated.inner_params(alias, bound)
-            jc_correction = 1.0
-            pc_correction = 1.0
-            if jc_measured is not None and jc_model > 0:
-                jc_correction = _clamp(
-                    jc_measured / jc_model, _CORRECTION_FLOOR, _CORRECTION_CEIL
+        position_of = {alias: i for i, alias in enumerate(order)}
+
+        class _LazyModels(dict):
+            def __missing__(self, alias: str) -> TableModel:
+                leg = legs[alias]
+                plan_leg = leg.plan_leg
+                sel_index, sel_residual = builder._local_selectivities(alias)
+                model = TableModel(
+                    alias=alias,
+                    base_cardinality=leg.base_cardinality,
+                    sel_local_index=sel_index,
+                    sel_local_residual=sel_residual,
+                    local_predicate_count=len(plan_leg.local_predicates),
+                    indexed_columns=frozenset(leg.indexes),
+                    driving_kind=plan_leg.driving.kind,
+                    driving_range_count=max(len(plan_leg.driving.ranges), 1),
+                    remaining_fraction=builder._remaining_fraction(alias),
+                    hash_probes=hash_probes,
                 )
-            if pc_measured is not None and pc_model > 0:
-                pc_correction = _clamp(
-                    pc_measured / pc_model, _CORRECTION_FLOOR, _CORRECTION_CEIL
+                position = position_of.get(alias, 0)
+                if (
+                    position == 0
+                    or leg.monitor.lifetime_incoming < warmup
+                ):
+                    self[alias] = model
+                    return model
+                jc_measured = leg.monitor.join_cardinality()
+                pc_measured = leg.monitor.probe_cost()
+                # Evaluate the uncalibrated model at the leg's current
+                # position (the model must be visible to inner_params).
+                self[alias] = model
+                bound = frozenset(order[:position])
+                jc_model, pc_model = provider.inner_params(alias, bound)
+                jc_correction = 1.0
+                pc_correction = 1.0
+                if jc_measured is not None and jc_model > 0:
+                    jc_correction = _clamp(
+                        jc_measured / jc_model,
+                        _CORRECTION_FLOOR,
+                        _CORRECTION_CEIL,
+                    )
+                if pc_measured is not None and pc_model > 0:
+                    pc_correction = _clamp(
+                        pc_measured / pc_model,
+                        _CORRECTION_FLOOR,
+                        _CORRECTION_CEIL,
+                    )
+                if jc_correction == 1.0 and pc_correction == 1.0:
+                    return model
+                calibrated = TableModel(
+                    alias=model.alias,
+                    base_cardinality=model.base_cardinality,
+                    sel_local_index=model.sel_local_index,
+                    sel_local_residual=model.sel_local_residual,
+                    local_predicate_count=model.local_predicate_count,
+                    indexed_columns=model.indexed_columns,
+                    driving_kind=model.driving_kind,
+                    driving_range_count=model.driving_range_count,
+                    remaining_fraction=model.remaining_fraction,
+                    jc_correction=jc_correction,
+                    pc_correction=pc_correction,
+                    hash_probes=model.hash_probes,
                 )
-            models[alias] = TableModel(
-                alias=alias,
-                base_cardinality=models[alias].base_cardinality,
-                sel_local_index=models[alias].sel_local_index,
-                sel_local_residual=models[alias].sel_local_residual,
-                local_predicate_count=models[alias].local_predicate_count,
-                indexed_columns=models[alias].indexed_columns,
-                driving_kind=models[alias].driving_kind,
-                driving_range_count=models[alias].driving_range_count,
-                remaining_fraction=models[alias].remaining_fraction,
-                jc_correction=jc_correction,
-                pc_correction=pc_correction,
-                hash_probes=hash_probes,
-            )
-        return ModelProvider(
-            models, pipeline.class_selectivities, pipeline.join_graph
+                self[alias] = calibrated
+                # Replace the uncalibrated memo entry with the corrected
+                # value (exact: the correction multiplies last).
+                provider._inner_cache[(alias, bound)] = (
+                    jc_model * jc_correction,
+                    pc_model * pc_correction,
+                )
+                return calibrated
+
+        provider = ModelProvider(
+            _LazyModels(), pipeline.class_selectivities, pipeline.join_graph
         )
+        return provider

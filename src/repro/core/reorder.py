@@ -38,12 +38,12 @@ def suffix_ranks(
     order: list[str], position: int, provider: ModelProvider
 ) -> list[float]:
     """Ranks of the legs at positions >= *position*, at their positions."""
-    bound = set(order[:position])
+    bound = frozenset(order[:position])
     ranks: list[float] = []
     for alias in order[position:]:
-        jc, pc = provider.inner_params(alias, frozenset(bound))
+        jc, pc = provider.inner_params(alias, bound)
         ranks.append(rank(jc, pc))
-        bound.add(alias)
+        bound = bound | {alias}
     return ranks
 
 

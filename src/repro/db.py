@@ -30,6 +30,7 @@ from repro.core.controller import AdaptationController
 from repro.core.events import EventKind
 from repro.errors import SchemaError
 from repro.executor.batch import BatchedPipelineExecutor
+from repro.executor.parallel import ParallelExecutor, parallel_fallback_reason
 from repro.executor.pipeline import PipelineExecutor
 from repro.executor.postprocess import PostProcessor
 from repro.obs.explain import render_explain_analyze
@@ -89,6 +90,14 @@ class ExecutionStats:
     order_history: tuple[tuple[str, ...], ...]
     # Applied adaptation decisions with the cost-model justification.
     events: tuple = ()
+    # Parallel partitioned execution only: work units on the critical path
+    # (per wave, the slowest partition; plus coordinator and continuation
+    # work). On a machine with enough cores this bounds wall-clock; it is
+    # the deterministic analogue of parallel elapsed time, matching the
+    # engine's work-unit-first measurement philosophy. None for serial runs.
+    critical_path_work: float | None = None
+    # How many worker processes executed partitions (1 = serial).
+    workers: int = 1
 
     @property
     def total_work(self) -> float:
@@ -143,6 +152,9 @@ class Database:
 
     def __init__(self) -> None:
         self.catalog = Catalog()
+        # Persistent fork pool for parallel partitioned execution; built on
+        # first use, invalidated when the catalog generation changes.
+        self._parallel_pool = None
 
     # -- schema & data ----------------------------------------------------
     def create_table(self, name: str, columns: Sequence[ColumnSpec]) -> None:
@@ -308,15 +320,36 @@ class Database:
         query_span,
     ) -> QueryResult:
         tracer = obs.tracer if obs is not None else None
+        if oracle is True:
+            oracle = InvariantOracle()
+        elif oracle is False:
+            oracle = None
+        if config.workers > 1:
+            reason = parallel_fallback_reason(
+                plan,
+                config,
+                limits=limits,
+                fault_plan=fault_plan,
+                oracle=oracle,
+            )
+            if reason is None:
+                before = self.catalog.meter.snapshot()
+                outcome = ParallelExecutor(
+                    self, self.catalog, plan, config, obs
+                ).execute()
+                if isinstance(outcome, str):
+                    reason = outcome
+                else:
+                    return self._finish_parallel(
+                        plan, outcome, before, obs, query_span
+                    )
+            if tracer is not None:
+                tracer.event("parallel-fallback", reason=reason)
         controller = (
             AdaptationController(config) if config.mode.monitors else None
         )
         if controller is not None and sandbox:
             controller = SandboxedController(controller)
-        if oracle is True:
-            oracle = InvariantOracle()
-        elif oracle is False:
-            oracle = None
         executor_cls = (
             BatchedPipelineExecutor if config.batched else PipelineExecutor
         )
@@ -398,3 +431,63 @@ class Database:
                 else ()
             ),
         )
+
+    def _finish_parallel(
+        self,
+        plan: PipelinePlan,
+        outcome,
+        before: WorkMeter,
+        obs: QueryObservability | None,
+        query_span,
+    ) -> QueryResult:
+        """Assemble a QueryResult from a partitioned execution's outcome."""
+        tracer = obs.tracer if obs is not None else None
+        rows = outcome.rows
+        if plan.query.has_post_processing:
+            if tracer is not None:
+                with tracer.span("post-process"):
+                    rows = PostProcessor(plan.query, plan.projection).process(rows)
+            else:
+                rows = PostProcessor(plan.query, plan.projection).process(rows)
+        stats = ExecutionStats(
+            work=self.catalog.meter - before,
+            wall_seconds=outcome.wall_seconds,
+            inner_reorders=outcome.inner_reorders,
+            driving_switches=outcome.driving_switches,
+            inner_checks=outcome.inner_checks,
+            driving_checks=outcome.driving_checks,
+            order_history=tuple(outcome.order_history),
+            events=tuple(outcome.events),
+            critical_path_work=outcome.critical_path_units,
+            workers=outcome.workers_used,
+        )
+        if query_span is not None:
+            tracer.end(
+                query_span,
+                rows=len(rows),
+                work_units=stats.total_work,
+                switches=stats.total_switches,
+                workers=outcome.workers_used,
+                partitions=outcome.partitions_run,
+            )
+        return QueryResult(
+            rows=rows,
+            stats=stats,
+            plan=plan,
+            final_order=tuple(outcome.final_order),
+            oracle=None,
+            trace=tracer,
+            metrics=obs.metrics if obs is not None else None,
+            samples=(
+                tuple(obs.sampler.samples)
+                if obs is not None and obs.sampler is not None
+                else ()
+            ),
+        )
+
+    def close(self) -> None:
+        """Release resources held by this database (the worker pool)."""
+        pool = getattr(self, "_parallel_pool", None)
+        if pool is not None:
+            pool.close()
+            self._parallel_pool = None

@@ -36,7 +36,7 @@ from repro.storage.counters import (
     PREDICATE_EVAL_COST,
     ROW_FETCH_COST,
 )
-from repro.storage.cursor import IndexScanCursor, TableScanCursor
+from repro.storage.cursor import IndexScanCursor, ScanPartition, TableScanCursor
 from repro.storage.index import SortedIndex
 from repro.storage.table import Row
 
@@ -130,6 +130,9 @@ class RuntimeLeg:
         "_turbo_groups",
         "_turbo_groups_gen",
         "_turbo_rows_seen",
+        "_fast_groups",
+        "_fast_scan_group",
+        "_fast_groups_gen",
     )
 
     def __init__(
@@ -139,6 +142,7 @@ class RuntimeLeg:
         history_window: int,
         monitoring_enabled: bool,
         hash_policy: HashProbePolicy = HashProbePolicy.OFF,
+        aggregated_monitor: bool = False,
     ) -> None:
         self.plan_leg = plan_leg
         self.alias = plan_leg.alias
@@ -147,7 +151,7 @@ class RuntimeLeg:
         self.meter = self.table.meter
         self.indexes = catalog.indexes_of(plan_leg.table_name)
         self.monitoring_enabled = monitoring_enabled
-        self.monitor = LegMonitor(history_window)
+        self.monitor = LegMonitor(history_window, aggregated=aggregated_monitor)
         self.driving_monitor: DrivingMonitor | None = None
         self.positional: PositionalPredicate | None = None
         self._history_window = history_window
@@ -196,6 +200,12 @@ class RuntimeLeg:
         # Candidate rows the turbo path has filtered inline so far — the
         # break-even gauge for building _turbo_groups.
         self._turbo_rows_seen = 0
+        # Fast monitored path: lazily memoized per-key candidate groups
+        # (rows passing locals + positional, with exact scalar eval counts
+        # and per-predicate deltas); see probe_batch_fast.
+        self._fast_groups: dict = {}
+        self._fast_scan_group: tuple | None = None
+        self._fast_groups_gen: tuple | None = None
 
     @property
     def base_cardinality(self) -> int:
@@ -886,6 +896,328 @@ class RuntimeLeg:
             meter.probe_cache_misses += 1
         return matches
 
+    def _fast_group_rows(
+        self, candidates: Sequence[tuple[int, Row]]
+    ) -> tuple[list[Row], int, int, tuple[tuple[int, int], ...] | None]:
+        """Filter *candidates* through locals + positional, counting exactly.
+
+        Returns ``(surviving rows, evals, candidate count, local deltas)``
+        where ``evals`` is precisely what a scalar probe charges for this
+        candidate set before residual joins (short-circuited local evals
+        plus one positional eval per locally-passing row) and ``deltas`` are
+        the per-local-predicate (evaluated, passed) increments. All of it is
+        a pure function of the candidate set, the probe epoch's local tests,
+        and the positional predicate — so the result is memoized per key.
+        """
+        local_tests = self.local_tests
+        positional = self.positional
+        evals = 0
+        rows: list[Row] = []
+        deltas = [[0, 0] for _ in local_tests] if local_tests else None
+        for rid, row in candidates:
+            ok = True
+            for slot, (_, test) in enumerate(local_tests):
+                evals += 1
+                passed = test(row)
+                if deltas is not None:
+                    pair = deltas[slot]
+                    pair[0] += 1
+                    pair[1] += 1 if passed else 0
+                if not passed:
+                    ok = False
+                    break
+            if ok and positional is not None:
+                evals += 1
+                if not positional.test(rid, row):
+                    ok = False
+            if ok:
+                rows.append(row)
+        return (
+            rows,
+            evals,
+            len(candidates),
+            tuple((pair[0], pair[1]) for pair in deltas)
+            if deltas is not None
+            else None,
+        )
+
+    def probe_batch_fast(
+        self,
+        binding: Binding,
+        vary_alias: str,
+        outer_rows: Sequence[Row],
+        cache=None,
+        defer: bool = False,
+        bump_incoming: bool = True,
+        aggregate: bool = False,
+    ) -> list:
+        """Monitored batch probe with chunk-aggregated accounting.
+
+        The amortized twin of :meth:`probe_batch` + :meth:`replay_prepared`
+        for runs where nothing reads the work meter mid-query (no limits, no
+        observability, no faults): each chunk's physical charges, monitor
+        updates, and cache counters hit the meter once, up front, instead of
+        probe by probe. Per-probe counts stay scalar-exact — they are
+        *derived* from per-key candidate groups that replicate the scalar
+        short-circuit precisely — so final meter totals are identical; only
+        (unobservable) intermediate meter states run up to one chunk ahead.
+
+        Monitor-window observations are what adaptation decisions read, so
+        their application point is the caller's choice:
+
+        * ``defer=False`` — fold the whole chunk's samples into the window
+          here (``observe_many``), in outer-row order, along with the
+          local-predicate counters; legal when no reorder check can fire
+          between this call and the consumption of the chunk's last probe.
+          ``bump_incoming`` selects whether ``incoming_since_check`` also
+          advances here (chunk-bulk) or per consumed probe in the caller.
+        * ``defer=True`` — return per-probe records
+          ``(matches, index_matches, work, local_deltas)`` and apply
+          nothing; the caller replays each observation at the scalar
+          logical point (positions where checks can interleave mid-chunk).
+        * ``aggregate=True`` (fast adaptive mode,
+          ``monitor_granularity="chunk"``) — fold the chunk into the
+          window as ONE weighted aggregate via
+          :meth:`~repro.core.monitor.AggregatedWindow.observe_chunk`:
+          an O(1) ring update per chunk instead of per sample. Requires
+          the leg's monitor to carry an aggregated window; implies the
+          chunk-bulk treatment of the local counters and
+          ``incoming_since_check``.
+
+        Per-key groups (rows passing locals + positional, with exact eval
+        counts) are memoized per (probe epoch, heap version), so repeated
+        join keys skip candidate filtering entirely — the same amortization
+        the turbo path gets from ``filtered_groups``, but with the counters
+        monitored execution needs.
+        """
+        config = self.probe_config
+        if config is None:
+            raise ExecutionError(f"leg {self.alias!r} has no probe config")
+        if config.hash_column is not None:
+            raise ExecutionError(
+                f"leg {self.alias!r}: hash probes are not batchable"
+            )
+        residual = config.residual_joins
+        index = config.access_index
+        key_alias = config.key_alias
+        key_varies = key_alias == vary_alias
+        key_slot = config.key_slot
+        key_const = (
+            binding[key_alias][key_slot]
+            if key_alias is not None and not key_varies
+            else None
+        )
+        oval_specs: tuple = ()
+        if residual:
+            oval_specs = tuple(
+                (
+                    oalias == vary_alias,
+                    oslot if oalias == vary_alias else binding[oalias][oslot],
+                )
+                for oalias, oslot in config.residual_sources
+            )
+
+        gen = (self.probe_epoch, self.table.version)
+        if self._fast_groups_gen != gen:
+            self._fast_groups = {}
+            self._fast_scan_group = None
+            self._fast_groups_gen = gen
+        groups = self._fast_groups
+
+        n = len(outer_rows)
+        records: list = [None] * n
+        misses: list[tuple[int, Any, tuple, Any]] = []
+        group_keys: list = []
+        hits = 0
+        centries = cache.entries if cache is not None else None
+        # Within-chunk duplicates fold onto the first occurrence when a
+        # cache is armed (same divergence contract as the turbo path: more
+        # savings than the sequential scalar cache, identical monitor
+        # observations). Without a cache every duplicate pays its full
+        # scalar charges, keeping uncached meter totals exact.
+        pending: dict = {}
+        dups: list[tuple[int, int]] = []
+        single_res = len(oval_specs) == 1
+        if single_res:
+            ovaries, ospec = oval_specs[0]
+        for i, outer in enumerate(outer_rows):
+            key = outer[key_slot] if key_varies else key_const
+            if single_res:
+                oval = outer[ospec] if ovaries else ospec
+                ovals = (oval,)
+                ckey = (key, oval)
+            elif residual:
+                ovals = tuple(
+                    outer[spec] if varies else spec
+                    for varies, spec in oval_specs
+                )
+                ckey = (key,) + ovals
+            else:
+                ovals = ()
+                ckey = key
+            if centries is not None:
+                entry = centries.get(ckey)
+                if entry is not None:
+                    centries.move_to_end(ckey)
+                    records[i] = entry
+                    hits += 1
+                    continue
+                rep = pending.get(ckey)
+                if rep is not None:
+                    dups.append((i, rep))
+                    hits += 1
+                    continue
+                pending[ckey] = i
+            misses.append((i, key, ovals, ckey))
+            if (
+                index is not None
+                and key is not None
+                and key not in groups
+            ):
+                group_keys.append(key)
+
+        # Resolve candidate groups for keys not yet memoized: one merged
+        # descent over the index, then one filtering pass per new key.
+        if index is not None and group_keys:
+            raw = self.table.raw_rows()
+            for key, rids in index.lookup_rids_batch(group_keys).items():
+                groups[key] = self._fast_group_rows(
+                    [(rid, raw[rid]) for rid in rids]
+                )
+        scan_group: tuple | None = None
+        if index is None:
+            scan_group = self._fast_scan_group
+            if scan_group is None:
+                raw = self.table.raw_rows()
+                scan_group = self._fast_scan_group = self._fast_group_rows(
+                    list(enumerate(raw))
+                )
+
+        one_residual = len(residual) == 1
+        if one_residual:
+            res_slot = residual[0][1]
+        descends = entries = fetches = evals_total = 0
+        for i, key, ovals, ckey in misses:
+            if index is not None:
+                descends += 1
+                if key is None:
+                    # Scalar lookup_rids(None): descend charged, no entries.
+                    record = ([], 0, INDEX_DESCEND_COST, None)
+                    records[i] = record
+                    if cache is not None:
+                        cache.put(ckey, record)
+                    continue
+                rows, base_evals, count, deltas = groups[key]
+                probe_entries = count if count else 1
+                probe_fetches = count
+                entries += probe_entries
+                fetches += probe_fetches
+            else:
+                rows, base_evals, count, deltas = scan_group
+                probe_entries = 0
+                probe_fetches = count
+                fetches += count
+            evals = base_evals
+            if one_residual:
+                oval = ovals[0]
+                matches = [
+                    row
+                    for row in rows
+                    if (cell := row[res_slot]) is not None and cell == oval
+                ]
+                evals += len(rows)
+            elif not residual:
+                matches = rows
+            else:
+                matches = []
+                for row in rows:
+                    for j, (_, slot) in enumerate(residual):
+                        evals += 1
+                        cell = row[slot]
+                        if cell is None or cell != ovals[j]:
+                            break
+                    else:
+                        matches.append(row)
+            evals_total += evals
+            work = (
+                (INDEX_DESCEND_COST if index is not None else 0.0)
+                + probe_entries * INDEX_ENTRY_COST
+                + probe_fetches * ROW_FETCH_COST
+                + evals * PREDICATE_EVAL_COST
+            )
+            record = (matches, count, work, deltas)
+            records[i] = record
+            if cache is not None:
+                cache.put(ckey, record)
+        for i, rep in dups:
+            records[i] = records[rep]
+
+        meter = self.meter
+        meter.index_descends += descends
+        meter.index_entries += entries
+        meter.row_fetches += fetches
+        meter.predicate_evals += evals_total
+        if cache is not None:
+            cache.hits += hits
+            cache.misses += len(misses)
+            meter.probe_cache_hits += hits
+            meter.probe_cache_misses += len(misses)
+        if not self.monitoring_enabled:
+            if defer:
+                return records
+            return [record[0] for record in records]
+        meter.monitor_updates += n
+        if defer:
+            return records
+        if aggregate:
+            sum_matches = 0
+            sum_output = 0
+            sum_work = 0.0
+            for record in records:
+                sum_matches += record[1]
+                sum_output += len(record[0])
+                sum_work += record[2]
+            self.monitor.window.observe_chunk(
+                n, sum_matches, sum_output, sum_work
+            )
+        else:
+            self.monitor.window.observe_many(
+                (record[1], len(record[0]), record[2]) for record in records
+            )
+        if self.local_tests:
+            counts_list = self.local_counts
+            for record in records:
+                deltas = record[3]
+                if deltas is not None:
+                    for slot, (evaluated, passed) in enumerate(deltas):
+                        counts = counts_list[slot]
+                        counts[0] += evaluated
+                        counts[1] += passed
+        if bump_incoming:
+            self.incoming_since_check += n
+        return [record[0] for record in records]
+
+    def consume_fast_record(self, record: tuple) -> list[Row]:
+        """Apply one deferred probe record's observations; return matches.
+
+        The per-consumption tail of :meth:`probe_batch_fast(defer=True)`:
+        window sample, local-predicate counters, and the check counter are
+        applied at the exact logical point the scalar probe would have —
+        physical meter charges were already folded into the chunk aggregate.
+        """
+        matches = record[0]
+        if self.monitoring_enabled:
+            self.monitor.window.observe(record[1], len(matches), record[2])
+            deltas = record[3]
+            if deltas is not None:
+                counts_list = self.local_counts
+                for slot, (evaluated, passed) in enumerate(deltas):
+                    counts = counts_list[slot]
+                    counts[0] += evaluated
+                    counts[1] += passed
+            self.incoming_since_check += 1
+        return matches
+
     def replay_prepared(
         self, prepared: PreparedProbe, hit: bool | None
     ) -> list[Row]:
@@ -1000,11 +1332,25 @@ class RuntimeLeg:
     # ------------------------------------------------------------------
     # Driving-leg role
     # ------------------------------------------------------------------
-    def open_driving_cursor(self, resume: Cursor | None = None) -> Cursor:
-        """Create (or resume) the driving scan cursor for this leg."""
+    def open_driving_cursor(
+        self,
+        resume: Cursor | None = None,
+        partition: "ScanPartition | None" = None,
+    ) -> Cursor:
+        """Create (or resume) the driving scan cursor for this leg.
+
+        *partition* bounds a fresh cursor to one slice of the scan's stable
+        total order (parallel partitioned execution): it starts strictly
+        after ``partition.start_after`` and stops before ``partition.stop_at``.
+        """
         if resume is not None:
             cursor = resume
         else:
+            start_after = partition.start_after if partition is not None else None
+            stop_at = partition.stop_at if partition is not None else None
+            entry_count = (
+                partition.entry_count if partition is not None else None
+            )
             spec = self.plan_leg.driving
             if spec.kind is DrivingKind.INDEX_SCAN:
                 index = self.indexes.get(spec.index_column or "")
@@ -1013,9 +1359,20 @@ class RuntimeLeg:
                         f"leg {self.alias!r}: driving index on "
                         f"{spec.index_column!r} does not exist"
                     )
-                cursor = IndexScanCursor(index, list(spec.ranges))
+                cursor = IndexScanCursor(
+                    index,
+                    list(spec.ranges),
+                    start_after=start_after,
+                    stop_at=stop_at,
+                    partition_entry_count=entry_count,
+                )
             else:
-                cursor = TableScanCursor(self.table)
+                cursor = TableScanCursor(
+                    self.table,
+                    start_after=start_after,
+                    stop_at=stop_at,
+                    partition_entry_count=entry_count,
+                )
         self.driving_monitor = DrivingMonitor(self._history_window)
         return cursor
 

@@ -84,14 +84,21 @@ class DrivingShadow:
     def _table_rids(self, cursor) -> Iterator[int]:
         last = cursor.last_position
         start = 0 if last is None else last[0] + 1
-        yield from range(start, len(self._raw))
+        end = len(self._raw)
+        if cursor.stop_at is not None:
+            # Partition-bounded cursor: the lookahead must not prepare
+            # probes for rows the cursor will never yield.
+            end = min(end, cursor.stop_at[0])
+        yield from range(start, end)
 
     def _index_rids(self, cursor: IndexScanCursor) -> Iterator[int]:
         # Mirrors IndexScanCursor._entries: same range walk, same
-        # start-after skipping, but relative to the cursor's *current*
-        # position and without charging descends or entry touches.
+        # start-after skipping and stop-at bounding, but relative to the
+        # cursor's *current* position and without charging descends or
+        # entry touches.
         index = cursor.index
         start = cursor.last_position
+        stop = cursor.stop_at
         for key_range in cursor.ranges:
             entry_start = None
             if start is not None:
@@ -101,13 +108,15 @@ class DrivingShadow:
                 ):
                     continue
                 entry_start = (start[0], start[1])
-            for _key, rid in index.peek_range(
+            for key, rid in index.peek_range(
                 low=key_range.low,
                 high=key_range.high,
                 low_inclusive=key_range.low_inclusive,
                 high_inclusive=key_range.high_inclusive,
                 start_after=entry_start,
             ):
+                if stop is not None and (key, rid) >= stop:
+                    return
                 yield rid
 
     def next_survivors(self, limit: int) -> list[Row]:
@@ -163,20 +172,39 @@ class TurboDrivingScan:
         if self._is_index:
             self._iter = self._index_rids(cursor)
         else:
-            self._iter = iter(range(len(self._raw)))
+            last = cursor.last_position
+            start = 0 if last is None else last[0] + 1
+            end = len(self._raw)
+            if cursor.stop_at is not None:
+                end = min(end, cursor.stop_at[0])
+            self._iter = iter(range(start, end))
 
     def _index_rids(self, cursor: IndexScanCursor) -> Iterator[int]:
-        # Same walk as IndexScanCursor._entries; a descend is owed per range
-        # actually entered, charged with the chunk that consumes from it.
+        # Same walk as IndexScanCursor._entries (including the cursor's
+        # partition bounds); a descend is owed per range actually entered,
+        # charged with the chunk that consumes from it.
         index = cursor.index
+        start = cursor.last_position
+        stop = cursor.stop_at
         for key_range in cursor.ranges:
+            entry_start = None
+            if start is not None:
+                if key_range.high is not None and (
+                    key_range.high < start[0]
+                    or (key_range.high == start[0] and not key_range.high_inclusive)
+                ):
+                    continue
+                entry_start = (start[0], start[1])
             self._pending_descends += 1
-            for _key, rid in index.peek_range(
+            for key, rid in index.peek_range(
                 low=key_range.low,
                 high=key_range.high,
                 low_inclusive=key_range.low_inclusive,
                 high_inclusive=key_range.high_inclusive,
+                start_after=entry_start,
             ):
+                if stop is not None and (key, rid) >= stop:
+                    return
                 yield rid
 
     def next_survivors(self, limit: int) -> list[Row]:
@@ -264,17 +292,22 @@ class BatchedPipelineExecutor(PipelineExecutor):
             yield from super()._run()
             return
 
-        if (
-            not self.config.mode.monitors
-            and self._enforcer is None
-            and self.obs is None
-        ):
-            # Mode NONE with no limits and no observability: nothing can
-            # read the meter, the monitors, or the pipeline mid-run, so the
-            # turbo loop may charge work in chunk aggregates and skip the
-            # per-probe replay machinery entirely. Final totals, results,
-            # and stats are scalar-identical.
-            yield from self._run_turbo()
+        if self._enforcer is None and self.obs is None:
+            if not self.config.mode.monitors:
+                # Mode NONE with no limits and no observability: nothing can
+                # read the meter, the monitors, or the pipeline mid-run, so
+                # the turbo loop may charge work in chunk aggregates and skip
+                # the per-probe replay machinery entirely. Final totals,
+                # results, and stats are scalar-identical.
+                yield from self._run_turbo()
+                return
+            # Monitored modes with no limits and no observability: the
+            # meter is only read at query end, so physical charges may be
+            # chunk-aggregated; monitor observations are applied in bulk
+            # exactly where no reorder check can interleave, per-probe
+            # elsewhere. Decisions, events, and final totals stay
+            # scalar-identical (see _run_fast).
+            yield from self._run_fast()
             return
 
         self._open_driving(self.order[0])
@@ -526,6 +559,317 @@ class BatchedPipelineExecutor(PipelineExecutor):
             match_rows[nxt] = matches
             match_idx[nxt] = 0
             position = nxt
+
+    # ------------------------------------------------------------------
+    # Fast monitored path (chunk-aggregated observations)
+    # ------------------------------------------------------------------
+    # Observation schemes per pipeline position (see probe_batch_fast).
+    _OBS_BULK = 0     # prep applies window + counts + incoming (chunk-bulk)
+    _OBS_WINDOW = 1   # prep applies window + counts; incoming per pop
+    _OBS_DEFER = 2    # per-probe records, everything applied per pop
+
+    def _run_fast(self) -> Iterator[tuple]:
+        """Monitored batched loop with chunk-aggregated accounting.
+
+        Entry conditions: monitoring on, no limits, no observability (plus
+        the scalar-fallback screens: no faults, no oracle, recognized
+        controller, multi-leg). Then the meter is only read at query end,
+        so physical charges and monitor-update charges are folded into one
+        aggregate per chunk (``probe_batch_fast``); intermediate meter
+        states run up to one chunk ahead, final totals are scalar-exact.
+
+        Monitor windows and ``incoming_since_check`` feed reorder-check
+        *gates and decisions*, so their application point is chosen per
+        pipeline position to be provably decision-identical:
+
+        * positions where no check can fire between a chunk's preparation
+          and the consumption of its last probe get chunk-bulk windows —
+          the last position always (``on_suffix_depleted`` ignores
+          single-leg suffixes, and shallower checks only fire after the
+          nested chunk is fully consumed), every position when inner
+          reordering is off (inner checks never fire; driving checks only
+          at driving-chunk boundaries, where the safe-window caps have
+          drained all prepared state);
+        * position ``last - 1`` additionally needs ``incoming_since_check``
+          advanced per consumed probe, because its own check gate reads the
+          counter at mid-chunk depletion events — the window itself is
+          bulk-safe since the capped chunk cannot reach the gate threshold
+          before its final probe;
+        * shallower positions (4+ leg pipelines with inner reordering) keep
+          fully per-probe observation records: checks at deeper non-last
+          positions can fire mid-chunk and read this leg's window.
+
+        **Fast adaptive mode** (``monitor_granularity="chunk"``): the
+        safe-window width caps and the per-probe schemes exist only to keep
+        adaptation *bit-identical* to scalar. When the user opts into
+        chunk granularity, chunks run at the full batch size everywhere,
+        every position observes chunk-bulk (one O(1) aggregated ring entry
+        per chunk — see :class:`~repro.core.monitor.AggregatedWindow`),
+        and reorder checks fire at the first depletion with **no prepared
+        state outstanding** — i.e. at chunk boundaries — once the check
+        counters pass the frequency gate. Rows and final work totals stay
+        exact; monitor estimates carry bounded within-chunk skew and
+        adaptation points are coarser (amortized), which is precisely what
+        buys the batched monitored speedup.
+        """
+        self._open_driving(self.order[0])
+        self._compile_all_probes()
+        config = self.config
+        mode = config.mode
+        batch_size = config.batch_size
+        check_freq = config.check_frequency
+        controller = self.controller
+        meter = self.catalog.meter
+        projector = self._projector
+        reorders_inner = mode.reorders_inner
+        chunked = config.monitor_granularity == "chunk"
+
+        leg_count = len(self.order)
+        last = leg_count - 1
+        schemes = [self._OBS_BULK] * leg_count
+        if reorders_inner and not chunked:
+            for p in range(1, last):
+                schemes[p] = (
+                    self._OBS_WINDOW if p == last - 1 else self._OBS_DEFER
+                )
+        defer = self._OBS_DEFER
+        window_scheme = self._OBS_WINDOW
+
+        binding: dict[str, Row] = {}
+        match_rows: list[list[Row]] = [[] for _ in range(leg_count)]
+        match_idx: list[int] = [0] * leg_count
+        pending: list[deque] = [deque() for _ in range(leg_count)]
+        expected: deque[Row] = deque()
+        shadow: DrivingShadow | None = None
+
+        # The controller's depletion hooks gate on counters this loop
+        # already tracks (incoming_since_check / driving_rows_since_check
+        # vs the check frequency), so calls that would provably gate out
+        # are skipped entirely — identical decisions, none of the per-call
+        # dispatch and sandbox bookkeeping on the ~c-1 of every c
+        # depletions that cannot fire a check.
+        reorders_driving = mode.reorders_driving
+
+        position = 0
+        while True:
+            if position == 0:
+                self.depleted_from = 0
+                if (
+                    reorders_driving
+                    and self.driving_rows_since_check >= check_freq
+                    # Chunk granularity: defer the check to the driving
+                    # chunk boundary so no prepared state can go stale
+                    # (exact granularity drains the lookahead before the
+                    # gate can pass, making this condition a no-op there).
+                    and (not chunked or not expected)
+                    and controller.on_pipeline_depleted()
+                ):
+                    # Driving switch: probes recompiled; the safe windows
+                    # guarantee the deques were already empty, but clear
+                    # defensively and drop the stale shadow.
+                    leg_count = len(self.order)
+                    last = leg_count - 1
+                    schemes = [self._OBS_BULK] * leg_count
+                    if reorders_inner and not chunked:
+                        for p in range(1, last):
+                            schemes[p] = (
+                                self._OBS_WINDOW
+                                if p == last - 1
+                                else self._OBS_DEFER
+                            )
+                    binding.clear()
+                    expected.clear()
+                    for pend in pending:
+                        pend.clear()
+                    shadow = None
+                if not expected:
+                    shadow = self._refill_driving_fast(
+                        shadow, expected, pending, binding,
+                        leg_count, batch_size, check_freq, mode, schemes[1],
+                        chunked,
+                    )
+                assert self._driving_iter is not None
+                row = next(self._driving_iter, None)
+                if row is None:
+                    return
+                self.depleted_from = None
+                self.driving_rows_since_check += 1
+                self.driving_rows_total += 1
+                binding[self.order[0]] = row
+                position = 1
+                leg = self.legs[self.order[1]]
+                if expected:
+                    predicted = expected.popleft()
+                    if predicted is not row:
+                        raise ExecutionError(
+                            "batched executor: driving lookahead diverged "
+                            f"from the cursor on leg {self.order[0]!r}"
+                        )
+                    entry = pending[1].popleft()
+                    scheme = schemes[1]
+                    if scheme == defer:
+                        match_rows[1] = leg.consume_fast_record(entry)
+                    else:
+                        if scheme == window_scheme:
+                            leg.incoming_since_check += 1
+                        match_rows[1] = entry
+                else:
+                    match_rows[1] = leg.probe(binding)
+                match_idx[1] = 0
+                continue
+
+            rows_list = match_rows[position]
+            idx = match_idx[position]
+            if idx >= len(rows_list):
+                # Suffix at >= position is depleted (Sec 4.1).
+                self.depleted_from = position
+                if (
+                    reorders_inner
+                    and position < last
+                    and self.legs[self.order[position]].incoming_since_check
+                    >= check_freq
+                    # Chunk granularity: fire only with no prepared probes
+                    # outstanding at this position (a chunk boundary). The
+                    # bottom-up drain guarantees deeper pendings are empty
+                    # whenever this one is, so a suffix permutation can
+                    # never strand stale prepared state. Exact granularity
+                    # already guarantees emptiness via the width caps.
+                    and (not chunked or not pending[position])
+                ):
+                    controller.on_suffix_depleted(position)
+                position -= 1
+                continue
+            match_idx[position] = idx + 1
+            row = rows_list[idx]
+            self.depleted_from = None
+            binding[self.order[position]] = row
+            if position == last:
+                self.rows_emitted += 1
+                meter.rows_emitted += 1
+                yield projector(binding)
+                continue
+            position += 1
+            leg = self.legs[self.order[position]]
+            pend = pending[position]
+            if not pend:
+                self._refill_inner_fast(
+                    position, binding, match_rows, match_idx, pending,
+                    last, batch_size, check_freq, reorders_inner,
+                    schemes[position], chunked,
+                )
+            if pend:
+                entry = pend.popleft()
+                scheme = schemes[position]
+                if scheme == defer:
+                    match_rows[position] = leg.consume_fast_record(entry)
+                else:
+                    if scheme == window_scheme:
+                        leg.incoming_since_check += 1
+                    match_rows[position] = entry
+            else:
+                match_rows[position] = leg.probe(binding)
+            match_idx[position] = 0
+
+    def _refill_driving_fast(
+        self,
+        shadow: DrivingShadow | None,
+        expected: deque,
+        pending: list[deque],
+        binding: dict[str, Row],
+        leg_count: int,
+        batch_size: int,
+        check_freq: int,
+        mode,
+        scheme: int,
+        chunked: bool = False,
+    ) -> DrivingShadow | None:
+        """Fast-path twin of :meth:`_refill_driving` (same safe windows).
+
+        Chunk granularity skips the safe-window caps — chunks run at the
+        full batch size and checks are deferred to chunk boundaries by the
+        caller's gates instead.
+        """
+        first_alias = self.order[1]
+        first_leg = self.legs[first_alias]
+        probe_config = first_leg.probe_config
+        if probe_config is None or probe_config.hash_column is not None:
+            return shadow  # hash legs prepare nothing; probe directly
+        width = batch_size
+        if not chunked:
+            if mode.reorders_driving:
+                width = min(width, check_freq - self.driving_rows_since_check)
+            if mode.reorders_inner and leg_count >= 3:
+                width = min(width, check_freq - first_leg.incoming_since_check)
+            width = max(width, 1)
+        if shadow is None:
+            assert self.driving_cursor is not None
+            shadow = DrivingShadow(
+                self.legs[self.order[0]], self.driving_cursor
+            )
+        rows = shadow.next_survivors(width)
+        if rows:
+            driving_alias = self.order[0]
+            saved = binding.get(driving_alias)
+            pending[1].extend(
+                first_leg.probe_batch_fast(
+                    binding, driving_alias, rows,
+                    self._cache_for(first_alias),
+                    defer=scheme == self._OBS_DEFER,
+                    bump_incoming=scheme == self._OBS_BULK,
+                    aggregate=chunked,
+                )
+            )
+            if saved is not None:
+                binding[driving_alias] = saved
+            expected.extend(rows)
+        return shadow
+
+    def _refill_inner_fast(
+        self,
+        position: int,
+        binding: dict[str, Row],
+        match_rows: list[list[Row]],
+        match_idx: list[int],
+        pending: list[deque],
+        last: int,
+        batch_size: int,
+        check_freq: int,
+        reorders_inner: bool,
+        scheme: int,
+        chunked: bool = False,
+    ) -> None:
+        """Fast-path twin of :meth:`_refill_inner` (same safe windows).
+
+        Chunk granularity skips the safe-window cap; the caller's
+        pending-empty gate defers checks to chunk boundaries instead.
+        """
+        alias = self.order[position]
+        leg = self.legs[alias]
+        probe_config = leg.probe_config
+        if probe_config is None or probe_config.hash_column is not None:
+            return
+        width = batch_size
+        if not chunked and reorders_inner and position < last:
+            width = min(width, check_freq - leg.incoming_since_check)
+            width = max(width, 1)
+        parent_alias = self.order[position - 1]
+        current = binding[parent_alias]
+        if width > 1:
+            parent_rows = match_rows[position - 1]
+            parent_next = match_idx[position - 1]
+            outers = [current]
+            outers.extend(parent_rows[parent_next : parent_next + width - 1])
+        else:
+            outers = [current]
+        pending[position].extend(
+            leg.probe_batch_fast(
+                binding, parent_alias, outers, self._cache_for(alias),
+                defer=scheme == self._OBS_DEFER,
+                bump_incoming=scheme == self._OBS_BULK,
+                aggregate=chunked,
+            )
+        )
+        binding[parent_alias] = current
 
     # ------------------------------------------------------------------
     def _refill_driving(

@@ -1,0 +1,182 @@
+"""Merging per-worker monitor state into coordinator estimates.
+
+Parallel partitioned execution (``AdaptiveConfig.workers > 1``) runs each
+driving-scan partition in its own worker process. Workers monitor their
+partition locally; between waves the coordinator needs a *global* view of
+the monitored selectivities to decide driving-leg switches. This module
+defines the picklable snapshots workers ship back and the merge that folds
+them into a coordinator-side ("host") pipeline's monitors.
+
+The merge relies on the windowed estimators being ratios of sums: a
+monitored quantity like ``JC = sum_output / samples`` (Eq 11) over the
+union of the workers' windows equals the ratio of the summed numerators
+and denominators. Each worker's window is injected into the host monitor
+as **one** :class:`~repro.core.monitor.AggregatedWindow` aggregate, so the
+host's estimate is exactly the sample-weighted combination of the worker
+windows — the same value a single window holding all the workers' samples
+would report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.monitor import AggregatedWindow, DrivingMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.pipeline import PipelineExecutor
+
+
+@dataclass(frozen=True)
+class LegWindowSnapshot:
+    """One leg's windowed probe counters at the end of a partition run."""
+
+    samples: int              # window fill (min(lifetime, w))
+    sum_matches: int
+    sum_output: int
+    sum_work: float
+    lifetime: int             # lifetime incoming rows (warmup gating)
+    # Per-predicate-slot [evaluated, passed] counts (local selectivities).
+    local_counts: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class DrivingSnapshot:
+    """The driving leg's scan-progress counters for one partition."""
+
+    entries_scanned: int
+    rows_survived: int
+    recent_scanned: int
+    recent_survived: int
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """Everything one worker's monitors learned about its partition."""
+
+    legs: dict[str, LegWindowSnapshot] = field(default_factory=dict)
+    driving: DrivingSnapshot | None = None
+
+
+def snapshot_executor(pipeline: "PipelineExecutor") -> MonitorSnapshot:
+    """Capture the pipeline's monitor state as a picklable snapshot."""
+    legs: dict[str, LegWindowSnapshot] = {}
+    for position, alias in enumerate(pipeline.order):
+        leg = pipeline.legs[alias]
+        if position == 0:
+            continue
+        window = leg.monitor.window
+        legs[alias] = LegWindowSnapshot(
+            samples=len(window),
+            sum_matches=window.sum_matches,
+            sum_output=window.sum_output,
+            sum_work=window.sum_work,
+            lifetime=window.lifetime_samples,
+            local_counts=tuple(
+                (counts[0], counts[1]) for counts in leg.local_counts
+            ),
+        )
+    driving = None
+    monitor = pipeline.legs[pipeline.order[0]].driving_monitor
+    if monitor is not None:
+        driving = DrivingSnapshot(
+            entries_scanned=monitor.entries_scanned,
+            rows_survived=monitor.rows_survived,
+            recent_scanned=monitor._recent_scanned,
+            recent_survived=monitor._recent_survived,
+        )
+    return MonitorSnapshot(legs=legs, driving=driving)
+
+
+def merge_snapshots(snapshots: list[MonitorSnapshot]) -> MonitorSnapshot:
+    """Combine per-worker snapshots by summing their counters."""
+    leg_totals: dict[str, list] = {}
+    drv = [0, 0, 0, 0]
+    saw_driving = False
+    for snapshot in snapshots:
+        for alias, leg in snapshot.legs.items():
+            totals = leg_totals.setdefault(alias, [0, 0, 0, 0.0, 0, None])
+            totals[0] += leg.samples
+            totals[1] += leg.sum_matches
+            totals[2] += leg.sum_output
+            totals[3] += leg.sum_work
+            totals[4] += leg.lifetime
+            if totals[5] is None:
+                totals[5] = [list(pair) for pair in leg.local_counts]
+            else:
+                for slot, (evaluated, passed) in enumerate(leg.local_counts):
+                    totals[5][slot][0] += evaluated
+                    totals[5][slot][1] += passed
+        if snapshot.driving is not None:
+            saw_driving = True
+            drv[0] += snapshot.driving.entries_scanned
+            drv[1] += snapshot.driving.rows_survived
+            drv[2] += snapshot.driving.recent_scanned
+            drv[3] += snapshot.driving.recent_survived
+    legs = {
+        alias: LegWindowSnapshot(
+            samples=totals[0],
+            sum_matches=totals[1],
+            sum_output=totals[2],
+            sum_work=totals[3],
+            lifetime=totals[4],
+            local_counts=tuple(
+                (pair[0], pair[1]) for pair in (totals[5] or ())
+            ),
+        )
+        for alias, totals in leg_totals.items()
+    }
+    driving = (
+        DrivingSnapshot(
+            entries_scanned=drv[0],
+            rows_survived=drv[1],
+            recent_scanned=drv[2],
+            recent_survived=drv[3],
+        )
+        if saw_driving
+        else None
+    )
+    return MonitorSnapshot(legs=legs, driving=driving)
+
+
+def inject_into_host(
+    host: "PipelineExecutor", merged: MonitorSnapshot
+) -> None:
+    """Load *merged* monitor state into the host pipeline's monitors.
+
+    The host pipeline exists only to carry coordinator-side estimates (it
+    never executes rows): each leg's window is replaced by an
+    :class:`AggregatedWindow` holding the merged counters as one aggregate,
+    so every ratio estimator reports the sample-weighted combination of
+    the worker windows. The driving monitor's scan counters are set
+    directly (its ring is only consulted through the recent sums).
+    """
+    for alias, leg_snapshot in merged.legs.items():
+        leg = host.legs.get(alias)
+        if leg is None:
+            continue
+        window = AggregatedWindow(leg.monitor.window.size)
+        if leg_snapshot.samples > 0:
+            window.observe_chunk(
+                leg_snapshot.samples,
+                leg_snapshot.sum_matches,
+                leg_snapshot.sum_output,
+                leg_snapshot.sum_work,
+            )
+        window.lifetime_samples = leg_snapshot.lifetime
+        leg.monitor.window = window
+        if leg_snapshot.local_counts and len(leg_snapshot.local_counts) == len(
+            leg.local_counts
+        ):
+            for slot, (evaluated, passed) in enumerate(leg_snapshot.local_counts):
+                leg.local_counts[slot][0] = evaluated
+                leg.local_counts[slot][1] = passed
+    if merged.driving is not None:
+        driving_leg = host.legs[host.order[0]]
+        monitor = DrivingMonitor(host.config.history_window)
+        monitor.entries_scanned = merged.driving.entries_scanned
+        monitor.rows_survived = merged.driving.rows_survived
+        monitor._recent_scanned = merged.driving.recent_scanned
+        monitor._recent_survived = merged.driving.recent_survived
+        driving_leg.driving_monitor = monitor

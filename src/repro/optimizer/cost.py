@@ -84,16 +84,17 @@ def greedy_rank_suffix(
     remaining = [alias for alias in remaining if alias not in order]
     bound = set(order)
     while remaining:
+        frozen = frozenset(bound)
         eligible = [
             alias
             for alias in remaining
-            if graph.available_predicates(alias, bound)
+            if graph.available_predicates(alias, frozen)
         ]
         if not eligible:
             eligible = list(remaining)
         ranked = min(
             eligible,
-            key=lambda alias: rank(*provider.inner_params(alias, frozenset(bound))),
+            key=lambda alias: rank(*provider.inner_params(alias, frozen)),
         )
         order.append(ranked)
         remaining.remove(ranked)

@@ -22,9 +22,22 @@ from repro.optimizer.cost import (
 )
 from repro.optimizer.plans import DrivingKind
 from repro.query.joingraph import JoinGraph, JoinPredicate
+from repro.storage import counters as _counters
+
+# Work-unit weights hoisted to module floats: ``inner_params`` runs inside
+# every reorder-check's order search, where repeated module-attribute
+# lookups through ``counters`` are measurable. The inlined cost expressions
+# below keep the exact arithmetic order of the ``probe_cost_via_*`` helpers
+# so evaluated costs are bit-identical.
+_INDEX_DESCEND_COST = _counters.INDEX_DESCEND_COST
+_INDEX_ENTRY_COST = _counters.INDEX_ENTRY_COST
+_ROW_FETCH_COST = _counters.ROW_FETCH_COST
+_PREDICATE_EVAL_COST = _counters.PREDICATE_EVAL_COST
+_HASH_PROBE_COST = _counters.HASH_PROBE_COST
+_HASH_MATCH_COST = _counters.HASH_MATCH_COST
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TableModel:
     """Per-table parameters feeding the cost model.
 
@@ -87,6 +100,11 @@ class ModelProvider:
         self.models = models
         self.class_selectivities = class_selectivities
         self.graph = graph
+        # (alias, bound) -> (jc, pc). A provider's models and selectivities
+        # are fixed for its lifetime (one instance per reorder check), while
+        # order search evaluates the same leg at the same position for many
+        # candidate orders — memoizing keeps those evaluations O(1).
+        self._inner_cache: dict[tuple[str, frozenset[str]], tuple[float, float]] = {}
 
     def _jp_sel(self, predicate: JoinPredicate) -> float:
         class_id = self.graph.class_id(predicate.left, predicate.left_column)
@@ -113,51 +131,69 @@ class ModelProvider:
         return cleg, scan_pc
 
     def inner_params(self, alias: str, bound: frozenset[str]) -> tuple[float, float]:
+        bound = frozenset(bound)
+        cached = self._inner_cache.get((alias, bound))
+        if cached is not None:
+            return cached
         model = self.models[alias]
-        available = self.graph.available_predicates(alias, bound)
+        # The graph caches the structural skeleton (which equivalence
+        # classes are available, which are indexed on this leg); only the
+        # per-class selectivity lookups run per provider snapshot.
+        distinct_ids, available_count, indexed_ids, all_ids = (
+            self.graph.inner_structure(alias, bound, model.indexed_columns)
+        )
+        selectivities = self.class_selectivities
         # JC(T): matches per incoming row after locals and all available
         # join predicates (Sec 4.3.4 adjustment falls out of recomputing
         # this per candidate position). Each equivalence class filters
         # once, however many of its predicates are available.
         jc = model.leg_cardinality * model.remaining_fraction
-        seen_classes: set[int | None] = set()
-        for predicate in available:
-            class_id = self.graph.class_id(alias, predicate.column_of(alias))
-            if class_id in seen_classes:
-                continue
-            seen_classes.add(class_id)
-            jc *= self._jp_sel(predicate)
+        for class_id in distinct_ids:
+            jc *= selectivities.get(class_id, DEFAULT_CLASS_SELECTIVITY)
         jc *= model.jc_correction
-        indexed = [
-            predicate
-            for predicate in available
-            if predicate.column_of(alias) in model.indexed_columns
-        ]
-        if indexed:
+        if indexed_ids:
             # Probe through the most selective indexed join predicate; the
-            # others become residual checks.
-            access = min(indexed, key=self._jp_sel)
+            # others become residual checks (probe_cost_via_index, inlined).
+            access_sel = DEFAULT_CLASS_SELECTIVITY
+            first = True
+            for class_id in indexed_ids:
+                sel = selectivities.get(class_id, DEFAULT_CLASS_SELECTIVITY)
+                if first or sel < access_sel:
+                    access_sel = sel
+                    first = False
             residual_count = (
-                len(available) - 1 + model.local_predicate_count
+                available_count - 1 + model.local_predicate_count
             )
             # Probe work is NOT reduced by a frozen scan position: the index
             # still returns every match and the positional predicate rejects
             # afterwards — only JC shrinks, not PC.
-            pc = probe_cost_via_index(
-                model.base_cardinality,
-                self._jp_sel(access),
-                residual_count,
+            matches = max(model.base_cardinality * access_sel, 0.0)
+            pc = _INDEX_DESCEND_COST + matches * (
+                _INDEX_ENTRY_COST
+                + _ROW_FETCH_COST
+                + residual_count * _PREDICATE_EVAL_COST
             )
-        elif model.hash_probes and available:
-            access = min(available, key=self._jp_sel)
-            pc = probe_cost_via_hash(
-                model.base_cardinality * model.sel_local,
-                self._jp_sel(access),
-                len(available) - 1,
+        elif model.hash_probes and available_count:
+            access_sel = DEFAULT_CLASS_SELECTIVITY
+            first = True
+            for class_id in all_ids:
+                sel = selectivities.get(class_id, DEFAULT_CLASS_SELECTIVITY)
+                if first or sel < access_sel:
+                    access_sel = sel
+                    first = False
+            matches = max(
+                model.base_cardinality * model.sel_local * access_sel, 0.0
+            )
+            pc = _HASH_PROBE_COST + matches * (
+                _HASH_MATCH_COST
+                + (available_count - 1) * _PREDICATE_EVAL_COST
             )
         else:
-            pc = probe_cost_via_scan(
-                model.base_cardinality,
-                len(available) + model.local_predicate_count,
+            pc = model.base_cardinality * (
+                _ROW_FETCH_COST
+                + max(available_count + model.local_predicate_count, 1)
+                * _PREDICATE_EVAL_COST
             )
-        return jc, pc * model.pc_correction
+        result = (jc, pc * model.pc_correction)
+        self._inner_cache[(alias, bound)] = result
+        return result

@@ -99,6 +99,16 @@ class JoinGraph:
             self._by_alias[predicate.left].append(predicate)
             self._by_alias[predicate.right].append(predicate)
         self._build_classes()
+        # available_predicates is a pure function of (alias, bound-set) on
+        # this immutable graph, and the adaptation controller evaluates it
+        # for every candidate order at every reorder check — memoize it.
+        self._available_cache: dict[
+            tuple[str, frozenset[str]], tuple[JoinPredicate, ...]
+        ] = {}
+        self._structure_cache: dict[
+            tuple[str, frozenset[str], frozenset[str]],
+            tuple[tuple[int, ...], int, tuple[int, ...], tuple[int, ...]],
+        ] = {}
 
     def _build_classes(self) -> None:
         """Union-find over (alias, column) endpoints."""
@@ -157,7 +167,10 @@ class JoinGraph:
         """
         if alias not in self._by_alias:
             raise QueryError(f"unknown alias {alias!r}")
-        bound_set = set(bound)
+        bound_set = frozenset(bound)
+        cached = self._available_cache.get((alias, bound_set))
+        if cached is not None:
+            return list(cached)
         available: list[JoinPredicate] = []
         for endpoint, class_id in self._class_of.items():
             if endpoint[0] != alias:
@@ -175,7 +188,54 @@ class JoinGraph:
                 available.append(
                     JoinPredicate(alias, endpoint[1], partner[0], partner[1])
                 )
+        self._available_cache[(alias, bound_set)] = tuple(available)
         return available
+
+    def inner_structure(
+        self,
+        alias: str,
+        bound: frozenset[str],
+        indexed_columns: frozenset[str],
+    ) -> tuple[tuple[int, ...], int, tuple[int, ...], tuple[int, ...]]:
+        """Class-id skeleton of :meth:`available_predicates` for cost evaluation.
+
+        Returns ``(distinct_class_ids, available_count, indexed_class_ids,
+        all_class_ids)`` where every tuple preserves the iteration order of
+        :meth:`available_predicates`, so a cost model multiplying
+        per-class selectivities over ``distinct_class_ids`` (first
+        occurrence per class, like the historical seen-set dedup) or taking
+        ``min`` over the others reproduces the predicate-object computation
+        bit for bit. Everything here is structural — which predicates
+        exist, which are indexed on *alias* — so it is cached for the
+        graph's lifetime, leaving only the selectivity lookups to run per
+        reorder check.
+        """
+        key = (alias, bound, indexed_columns)
+        cached = self._structure_cache.get(key)
+        if cached is not None:
+            return cached
+        available = self.available_predicates(alias, bound)
+        distinct: list[int] = []
+        seen: set[int] = set()
+        indexed: list[int] = []
+        all_ids: list[int] = []
+        for predicate in available:
+            column = predicate.column_of(alias)
+            class_id = self._class_of[(alias, column)]
+            all_ids.append(class_id)
+            if class_id not in seen:
+                seen.add(class_id)
+                distinct.append(class_id)
+            if column in indexed_columns:
+                indexed.append(class_id)
+        result = (
+            tuple(distinct),
+            len(available),
+            tuple(indexed),
+            tuple(all_ids),
+        )
+        self._structure_cache[key] = result
+        return result
 
     def neighbors(self, alias: str) -> set[str]:
         """Aliases sharing an equivalence class with *alias* (incl. derived)."""

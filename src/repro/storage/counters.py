@@ -155,6 +155,30 @@ class WorkMeter:
         self.probe_cache_hits = 0
         self.probe_cache_misses = 0
 
+    def merge(self, other: "WorkMeter") -> None:
+        """Fold *other*'s charges into this meter in place.
+
+        Used by the parallel coordinator to aggregate per-worker meters:
+        work units are additive across partitions, so the merged meter is
+        the total physical work of the partitioned run.
+        """
+        self.index_descends += other.index_descends
+        self.index_entries += other.index_entries
+        self.row_fetches += other.row_fetches
+        self.predicate_evals += other.predicate_evals
+        self.monitor_updates += other.monitor_updates
+        self.reorder_checks += other.reorder_checks
+        self.rows_emitted += other.rows_emitted
+        self.hash_build_entries += other.hash_build_entries
+        self.hash_probes += other.hash_probes
+        self.hash_matches += other.hash_matches
+        self.probe_cache_hits += other.probe_cache_hits
+        self.probe_cache_misses += other.probe_cache_misses
+
+    def __iadd__(self, other: "WorkMeter") -> "WorkMeter":
+        self.merge(other)
+        return self
+
     def __sub__(self, other: "WorkMeter") -> "WorkMeter":
         return WorkMeter(
             index_descends=self.index_descends - other.index_descends,

@@ -59,6 +59,22 @@ class KeyRange:
         return (1, self.low)
 
 
+@dataclass(frozen=True, slots=True)
+class ScanPartition:
+    """One contiguous slice of a driving scan's stable total order.
+
+    ``start_after``/``stop_at`` are positions in the scan order (RID order
+    for table scans, (key, RID) order for index scans); ``None`` means
+    unbounded on that side. ``entry_count`` is the number of qualifying
+    entries strictly inside the bounds, pre-computed by the partitioner so
+    bounded cursors can report partition-relative remaining fractions.
+    """
+
+    start_after: Position | None
+    stop_at: Position | None
+    entry_count: int | None = None
+
+
 def normalize_ranges(ranges: list[KeyRange]) -> list[KeyRange]:
     """Sort ranges by low bound; callers must supply disjoint ranges.
 
@@ -98,16 +114,42 @@ class ScanOrder:
 
 
 class TableScanCursor:
-    """Full-table scan in RID order, resumable after any RID."""
+    """Full-table scan in RID order, resumable after any RID.
 
-    __slots__ = ("table", "order", "_next_rid", "last_position", "exhausted")
+    A cursor may be bounded to a *partition* of the scan order: entries at
+    positions ``<= start_after`` were consumed elsewhere and entries at
+    positions ``>= stop_at`` belong to a later partition. Bounded cursors
+    carry ``partition_entry_count`` (the number of entries inside the
+    bounds, computed by the partitioner) so remaining-work estimates can be
+    made relative to the partition instead of the whole table.
+    """
 
-    def __init__(self, table: HeapTable, start_after: Position | None = None) -> None:
+    __slots__ = (
+        "table",
+        "order",
+        "_next_rid",
+        "last_position",
+        "exhausted",
+        "stop_at",
+        "partition_entry_count",
+        "entries_yielded",
+    )
+
+    def __init__(
+        self,
+        table: HeapTable,
+        start_after: Position | None = None,
+        stop_at: Position | None = None,
+        partition_entry_count: int | None = None,
+    ) -> None:
         self.table = table
         self.order = ScanOrder(table)
         self._next_rid = 0 if start_after is None else start_after[0] + 1
         self.last_position: Position | None = start_after
         self.exhausted = False
+        self.stop_at = stop_at
+        self.partition_entry_count = partition_entry_count
+        self.entries_yielded = 0
 
     def __iter__(self) -> Iterator[tuple[int, Row]]:
         return self
@@ -118,13 +160,16 @@ class TableScanCursor:
             # Before any cursor state changes: a transient fault here is
             # retryable by simply calling __next__ again.
             faults.fire("cursor-advance")
-        if self._next_rid >= len(self.table):
+        if self._next_rid >= len(self.table) or (
+            self.stop_at is not None and self._next_rid >= self.stop_at[0]
+        ):
             self.exhausted = True
             raise StopIteration
         rid = self._next_rid
         self._next_rid += 1
         row = self.table.fetch(rid)
         self.last_position = (rid,)
+        self.entries_yielded += 1
         return rid, row
 
 
@@ -144,6 +189,9 @@ class IndexScanCursor:
         "exhausted",
         "_iterator",
         "_pending",
+        "stop_at",
+        "partition_entry_count",
+        "entries_yielded",
     )
 
     def __init__(
@@ -151,6 +199,8 @@ class IndexScanCursor:
         index: SortedIndex,
         ranges: list[KeyRange] | None = None,
         start_after: Position | None = None,
+        stop_at: Position | None = None,
+        partition_entry_count: int | None = None,
     ) -> None:
         self.index = index
         self.order = ScanOrder(index.table, index)
@@ -160,6 +210,9 @@ class IndexScanCursor:
         self.exhausted = False
         self._iterator = self._entries()
         self._pending: tuple[Any, int] | None = None
+        self.stop_at = stop_at
+        self.partition_entry_count = partition_entry_count
+        self.entries_yielded = 0
 
     def _entries(self) -> Iterator[tuple[Any, int]]:
         start = self._start_after
@@ -199,8 +252,14 @@ class IndexScanCursor:
             except StopIteration:
                 self.exhausted = True
                 raise
+        if self.stop_at is not None and (key, rid) >= self.stop_at:
+            # First entry of the next partition: this cursor's slice of the
+            # (key, RID) order is drained.
+            self.exhausted = True
+            raise StopIteration
         row = self.index.table.fetch(rid)
         self.last_position = (key, rid)
+        self.entries_yielded += 1
         return rid, row
 
     def scans_multiple_keys(self) -> bool:
