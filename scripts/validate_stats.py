@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a query-server ``stats`` document against its schema.
+
+Connects to a live server (start one with ``python -m repro serve``),
+issues ``{"op": "stats"}``, and checks the response document:
+
+* top-level sections ``server``, ``admission``, ``latency_ms``,
+  ``queries``, ``plan_cache`` all present, each an object with exactly
+  the documented keys;
+* types: counters are non-negative numbers, ``draining`` is a bool,
+  quantiles are numbers or null;
+* invariants: ``in_flight <= max_concurrency``,
+  ``queue_depth <= max_queue_depth``, latency quantiles are
+  monotonically non-decreasing (p50 <= p95 <= p99) when present,
+  plan-cache ``size <= capacity`` (when capacity > 0), and the latency
+  histogram ``count`` is at least the number of completed queries'
+  outcomes recorded.
+
+Usage::
+
+    python scripts/validate_stats.py --port 7654
+    python scripts/validate_stats.py --file stats.json   # offline check
+
+Exits 0 with a one-line summary on success; exits 1 naming the first
+violated rule. Stdlib only — runnable in any CI image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+SCHEMA = {
+    "server": {
+        "uptime_s": "number",
+        "sessions": "count",
+        "draining": "bool",
+        "protocol_errors": "count",
+    },
+    "admission": {
+        "in_flight": "count",
+        "queue_depth": "count",
+        "max_concurrency": "count",
+        "max_queue_depth": "count",
+        "accepted_total": "count",
+        "rejected_overload_total": "count",
+        "rejected_rate_limit_total": "count",
+        "rejected_draining_total": "count",
+        "shed_serial_total": "count",
+        "shed_static_total": "count",
+    },
+    "latency_ms": {
+        "count": "count",
+        "mean": "number_or_null",
+        "p50": "number_or_null",
+        "p95": "number_or_null",
+        "p99": "number_or_null",
+    },
+    "queries": {
+        "ok_total": "count",
+        "budget_exceeded_total": "count",
+        "cancelled_total": "count",
+        "sql_error_total": "count",
+        "internal_error_total": "count",
+        "rows_returned_total": "count",
+        "dropped_on_disconnect_total": "count",
+    },
+    "plan_cache": {
+        "size": "count",
+        "capacity": "count",
+        "hits": "count",
+        "misses": "count",
+        "single_flight_waits": "count",
+        "evictions": "count",
+        "invalidations": "count",
+    },
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def check_type(path: str, value, kind: str) -> None:
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise ValidationError(f"{path}: expected bool, got {value!r}")
+        return
+    if kind == "number_or_null":
+        if value is None:
+            return
+        kind = "number"
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{path}: expected number, got {value!r}")
+    if kind == "count" and value < 0:
+        raise ValidationError(f"{path}: counter is negative ({value})")
+
+
+def validate(stats: dict) -> list[str]:
+    """Raises ValidationError on the first violation; returns notes."""
+    if not isinstance(stats, dict):
+        raise ValidationError(f"stats document is not an object: {stats!r}")
+    extra_sections = set(stats) - set(SCHEMA)
+    if extra_sections:
+        raise ValidationError(f"unknown sections: {sorted(extra_sections)}")
+    for section, fields in SCHEMA.items():
+        body = stats.get(section)
+        if not isinstance(body, dict):
+            raise ValidationError(f"missing/invalid section {section!r}")
+        missing = set(fields) - set(body)
+        if missing:
+            raise ValidationError(f"{section}: missing keys {sorted(missing)}")
+        extra = set(body) - set(fields)
+        if extra:
+            raise ValidationError(f"{section}: unknown keys {sorted(extra)}")
+        for key, kind in fields.items():
+            check_type(f"{section}.{key}", body[key], kind)
+
+    admission = stats["admission"]
+    if admission["in_flight"] > admission["max_concurrency"]:
+        raise ValidationError(
+            "admission.in_flight exceeds max_concurrency "
+            f"({admission['in_flight']} > {admission['max_concurrency']})"
+        )
+    if admission["queue_depth"] > admission["max_queue_depth"]:
+        raise ValidationError(
+            "admission.queue_depth exceeds max_queue_depth "
+            f"({admission['queue_depth']} > {admission['max_queue_depth']})"
+        )
+
+    latency = stats["latency_ms"]
+    quantiles = [latency["p50"], latency["p95"], latency["p99"]]
+    present = [q for q in quantiles if q is not None]
+    if len(present) not in (0, 3):
+        raise ValidationError("latency quantiles must be all-present or all-null")
+    if present and not (present[0] <= present[1] <= present[2]):
+        raise ValidationError(
+            f"latency quantiles not monotone: p50={present[0]} "
+            f"p95={present[1]} p99={present[2]}"
+        )
+    if latency["count"] == 0 and present:
+        raise ValidationError("latency quantiles present with zero count")
+
+    cache = stats["plan_cache"]
+    if cache["capacity"] > 0 and cache["size"] > cache["capacity"]:
+        raise ValidationError(
+            f"plan_cache.size exceeds capacity "
+            f"({cache['size']} > {cache['capacity']})"
+        )
+
+    queries = stats["queries"]
+    outcomes = (
+        queries["ok_total"] + queries["budget_exceeded_total"]
+        + queries["cancelled_total"] + queries["sql_error_total"]
+        + queries["internal_error_total"]
+    )
+    if latency["count"] < outcomes:
+        raise ValidationError(
+            f"latency count {latency['count']} < recorded outcomes {outcomes}"
+        )
+    return [
+        f"uptime {stats['server']['uptime_s']}s",
+        f"{int(outcomes)} queries",
+        f"{int(admission['accepted_total'])} accepted",
+        f"cache {int(cache['hits'])}h/{int(cache['misses'])}m",
+    ]
+
+
+async def fetch_stats(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b'{"op": "stats", "id": "validate"}\n')
+        await writer.drain()
+        line = await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    response = json.loads(line)
+    if response.get("status") != "ok":
+        raise ValidationError(f"stats op failed: {response!r}")
+    if response.get("id") != "validate":
+        raise ValidationError(f"stats response id mismatch: {response.get('id')!r}")
+    return response["stats"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument(
+        "--file",
+        default=None,
+        help="validate a saved stats JSON document instead of a live server",
+    )
+    args = parser.parse_args()
+    try:
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                stats = json.load(handle)
+        else:
+            stats = asyncio.run(fetch_stats(args.host, args.port))
+        notes = validate(stats)
+    except ValidationError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"FAIL: could not fetch/parse stats: {error!r}", file=sys.stderr)
+        return 1
+    print("PASS: " + ", ".join(notes))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

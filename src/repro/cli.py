@@ -6,11 +6,13 @@ Subcommands
 ``query``       run one SQL statement against a DMV database, comparing
                 static and adaptive execution
 ``shell``       interactive SQL shell over a DMV database
+``serve``       concurrent multi-client query server (NDJSON over TCP)
 ``experiment``  run one of the paper's experiments and print its report
 
 Examples::
 
     python -m repro generate --scale 0.05
+    python -m repro serve --scale 0.05 --port 7654 --max-concurrency 4
     python -m repro query --scale 0.05 "SELECT COUNT(*) FROM Car c WHERE c.make = 'Mazda'"
     python -m repro experiment fig7 --scale 0.05 --queries 10
     python -m repro shell --scale 0.02
@@ -147,6 +149,93 @@ def build_parser() -> argparse.ArgumentParser:
 
     shell = commands.add_parser("shell", help="interactive SQL shell")
     _add_scale(shell)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the concurrent query server (newline-delimited JSON)",
+    )
+    _add_scale(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7654,
+        help="TCP port (0 = pick a free port and print it; default 7654)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="queries executing concurrently (default 4)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help="bounded admission queue; full → REJECTED_OVERLOAD (default 32)",
+    )
+    serve.add_argument(
+        "--queue-per-session",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-client cap inside the admission queue (default 8)",
+    )
+    serve.add_argument(
+        "--rate-limit-qps",
+        type=float,
+        default=0.0,
+        metavar="QPS",
+        help="per-client token-bucket rate (0 disables; default 0)",
+    )
+    serve.add_argument(
+        "--rate-limit-burst",
+        type=float,
+        default=8.0,
+        metavar="N",
+        help="token-bucket burst size (default 8)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=10_000.0,
+        metavar="MS",
+        help="default per-query deadline, server-clamped (default 10000)",
+    )
+    serve.add_argument(
+        "--engine-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="intra-query parallel workers granted to fully-admitted "
+        "queries (1 = serial; default 1)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="batched-executor chunk size for served queries "
+        "(0 = scalar path; default 256)",
+    )
+    serve.add_argument(
+        "--plan-cache",
+        type=int,
+        default=256,
+        metavar="N",
+        help="shared plan-cache capacity in statements (0 disables; "
+        "default 256)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to let in-flight queries finish on SIGTERM before "
+        "cancelling them (default 10)",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -384,6 +473,45 @@ def cmd_shell(args) -> int:
             print(f"error: {error}", file=sys.stderr)
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import QueryServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            max_queue_depth=args.max_queue_depth,
+            max_queue_per_session=args.queue_per_session,
+            default_timeout_ms=min(args.timeout_ms, 60_000.0),
+            rate_limit_qps=args.rate_limit_qps,
+            rate_limit_burst=args.rate_limit_burst,
+            engine_workers=args.engine_workers,
+            engine_batch_size=args.batch_size,
+            plan_cache_size=args.plan_cache,
+            drain_grace_seconds=args.drain_grace,
+        )
+    except ValueError as error:
+        print(f"error: invalid server config: {error}", file=sys.stderr)
+        return 2
+    db = _load(args)
+    server = QueryServer(db, config)
+
+    def on_ready(srv: QueryServer) -> None:
+        print(
+            f"listening on {config.host}:{srv.port} "
+            f"(concurrency={config.max_concurrency}, "
+            f"queue={config.max_queue_depth}, "
+            f"workers={config.engine_workers}); SIGTERM drains",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return asyncio.run(server.serve_forever(on_ready=on_ready))
+
+
 def cmd_experiment(args) -> int:
     if args.name == "table1":
         _, summary = load_dmv(
@@ -423,6 +551,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "query": cmd_query,
         "shell": cmd_shell,
+        "serve": cmd_serve,
         "experiment": cmd_experiment,
     }
     if args.profile:

@@ -46,7 +46,7 @@ from repro.robustness.faults import FaultInjector, FaultPlan
 from repro.robustness.guard import SandboxedController
 from repro.robustness.limits import ExecutionLimits
 from repro.robustness.oracle import InvariantOracle
-from repro.storage.counters import WorkMeter
+from repro.storage.counters import ThreadScopedMeter, WorkMeter
 from repro.storage.schema import Column
 from repro.storage.types import ColumnType
 
@@ -335,7 +335,7 @@ class Database:
             if reason is None:
                 before = self.catalog.meter.snapshot()
                 outcome = ParallelExecutor(
-                    self, self.catalog, plan, config, obs
+                    self, self.catalog, plan, config, obs, limits=limits
                 ).execute()
                 if isinstance(outcome, str):
                     reason = outcome
@@ -485,9 +485,41 @@ class Database:
             ),
         )
 
+    def enable_concurrent_metering(self) -> ThreadScopedMeter:
+        """Route work-unit charges to per-thread meters for serving.
+
+        The catalog and every table share one :class:`WorkMeter`, so
+        concurrent executions on worker threads would interleave charges
+        and corrupt per-query ``meter - before`` deltas. This swaps the
+        shared meter for a :class:`ThreadScopedMeter` facade (idempotent;
+        returns the installed facade): the query server wraps each
+        execution in ``meter.scoped()`` and gets exact per-query work
+        accounting, while unscoped threads keep charging the base meter.
+        """
+        meter = self.catalog.meter
+        if isinstance(meter, ThreadScopedMeter):
+            return meter
+        scoped = ThreadScopedMeter(meter)
+        self.catalog.meter = scoped
+        for name in self.catalog.table_names():
+            self.catalog.table(name).meter = scoped
+        return scoped
+
     def close(self) -> None:
-        """Release resources held by this database (the worker pool)."""
+        """Release resources held by this database (the worker pool).
+
+        Idempotent, and guaranteed to reap forked parallel workers even
+        when the previous query raised mid-wave (the pool additionally
+        carries a GC finalizer, so an abandoned Database cannot leak
+        children — but deterministic cleanup should call close()).
+        """
         pool = getattr(self, "_parallel_pool", None)
         if pool is not None:
             pool.close()
             self._parallel_pool = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -53,6 +53,8 @@ import dataclasses
 import heapq
 import multiprocessing
 import pickle
+import time
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -61,6 +63,7 @@ from repro.core.controller import AdaptationController
 from repro.core.driving import decide_driving_switch
 from repro.core.events import AdaptationEvent, EventKind
 from repro.core.ranks import RuntimeModelBuilder
+from repro.errors import BudgetExceeded
 from repro.executor.monitor_merge import (
     MonitorSnapshot,
     inject_into_host,
@@ -207,6 +210,12 @@ def catalog_generation(catalog: "Catalog") -> tuple:
     )
 
 
+def _terminate_pool(pool) -> None:
+    """Terminate and reap a multiprocessing pool's forked workers."""
+    pool.terminate()
+    pool.join()
+
+
 class WorkerPool:
     """A persistent fork pool bound to one catalog generation."""
 
@@ -222,13 +231,20 @@ class WorkerPool:
             self.pool = context.Pool(processes=workers)
         finally:
             _WORKER_CATALOG = None
+        # Guarantee the forked children are reaped even when the owning
+        # Database is dropped without close() — e.g. after a query raised
+        # mid-wave and the caller abandoned the handle. The finalizer
+        # holds only the raw pool, never `self`, so it cannot keep the
+        # WorkerPool (or the catalog) alive.
+        self._finalizer = weakref.finalize(self, _terminate_pool, self.pool)
 
     def run(self, tasks: list[_WorkerTask]) -> list[_WorkerResult]:
         return self.pool.map(_run_partition_task, tasks, chunksize=1)
 
     def close(self) -> None:
-        self.pool.terminate()
-        self.pool.join()
+        # Route through the finalizer so close() and GC are idempotent
+        # views of the same cleanup.
+        self._finalizer()
 
 
 def ensure_pool(
@@ -372,8 +388,14 @@ def parallel_fallback_reason(
         return "fork start method unavailable on this platform"
     if len(plan.order) < 2:
         return "single-leg pipeline"
-    if limits is not None and not limits.unlimited:
-        return "execution limits are enforced per-process"
+    if limits is not None and (
+        limits.max_rows is not None or limits.max_work_units is not None
+    ):
+        # Row/work budgets need per-row safe points, which live inside one
+        # process's pipeline. Deadlines and cancellation ARE supported
+        # partitioned: the coordinator enforces them at every wave barrier
+        # (and the serial continuation enforces them per-row).
+        return "row/work budgets are enforced per-process"
     if fault_plan is not None:
         return "fault injection requires in-process execution"
     if oracle:
@@ -401,13 +423,50 @@ class ParallelExecutor:
         plan: PipelinePlan,
         config: AdaptiveConfig,
         obs=None,
+        limits=None,
     ) -> None:
         self.holder = holder
         self.catalog = catalog
         self.plan = plan
         self.config = config
         self.obs = obs
+        self.limits = limits
         self.tracer = obs.tracer if obs is not None else None
+        self._started_at = 0.0
+        self._work_floor = 0.0
+        self._deadline: float | None = None
+
+    def _check_limits(self, outcome: "ParallelOutcome") -> None:
+        """Wave-barrier safe point for deadline and cancellation budgets.
+
+        Raises :class:`BudgetExceeded` with the partial progress merged so
+        far (rows, driving rows, work units). Worker partitions run to
+        completion between barriers, so enforcement granularity is one
+        wave — prompt by construction because limit-armed runs always use
+        ``BARRIER_WAVES`` waves.
+        """
+        limits = self.limits
+        if limits is None:
+            return
+        token = limits.cancellation
+        reason = None
+        if token is not None and token.cancelled:
+            reason = f"query cancelled: {token.reason}"
+        elif (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            reason = (
+                f"deadline exceeded ({limits.timeout_seconds * 1000:.0f} ms)"
+            )
+        if reason is not None:
+            raise BudgetExceeded(
+                reason,
+                rows_emitted=len(outcome.rows),
+                work_units=self.catalog.meter.total_units - self._work_floor,
+                elapsed_seconds=time.perf_counter() - self._started_at,
+                driving_rows=outcome.driving_rows,
+            )
 
     # -- host pipeline for coordinator decisions -----------------------
     def _build_host(self, merged: MonitorSnapshot, consumed_entries: int,
@@ -440,17 +499,28 @@ class ParallelExecutor:
     # -- main entry ----------------------------------------------------
     def execute(self) -> ParallelOutcome | str:
         """Run partitioned; returns an outcome or a fallback reason."""
-        import time
-
         config = self.config
         workers = config.workers
         reorders_driving = config.mode.reorders_driving
+        limits_armed = self.limits is not None and not self.limits.unlimited
         wave_size = workers * OVERPARTITION
-        slices = wave_size * BARRIER_WAVES if reorders_driving else wave_size
+        # Deadline/cancellation budgets are checked at wave barriers, so a
+        # limit-armed run always splits into BARRIER_WAVES waves even when
+        # driving switches are off — otherwise the whole scan would be one
+        # wave and cancellation could not be prompt.
+        slices = (
+            wave_size * BARRIER_WAVES
+            if reorders_driving or limits_armed
+            else wave_size
+        )
         partitions = compute_partitions(self.plan, self.catalog, slices)
         if partitions is None or len(partitions) < 2:
             return "driving scan too small to partition"
         started_at = time.perf_counter()
+        self._started_at = started_at
+        self._work_floor = self.catalog.meter.total_units
+        if limits_armed and self.limits.timeout_seconds is not None:
+            self._deadline = started_at + self.limits.timeout_seconds
         pool = ensure_pool(self.holder, self.catalog, workers)
         worker_config = dataclasses.replace(
             _serial_config(config), mode=demote_worker_mode(config.mode)
@@ -469,6 +539,7 @@ class ParallelExecutor:
             self.obs is not None and self.obs.metrics is not None
         )
         for wave_start in range(0, len(partitions), wave_size):
+            self._check_limits(outcome)
             wave = partitions[wave_start : wave_start + wave_size]
             tasks = [
                 _WorkerTask(
@@ -586,8 +657,19 @@ class ParallelExecutor:
         executor_cls = (
             BatchedPipelineExecutor if config.batched else PipelineExecutor
         )
+        limits = self.limits
+        if limits is not None and self._deadline is not None:
+            # The continuation's enforcer restarts its clock; hand it only
+            # the time remaining on the original deadline.
+            limits = dataclasses.replace(
+                limits,
+                timeout_seconds=max(
+                    self._deadline - time.perf_counter(), 1e-3
+                ),
+            )
         executor = executor_cls(
-            self.plan, self.catalog, config, controller, obs=self.obs
+            self.plan, self.catalog, config, controller,
+            limits=limits, obs=self.obs,
         )
         controller.attach(executor)
         executor.driving_partition = ScanPartition(
@@ -598,7 +680,18 @@ class ParallelExecutor:
         inject_into_host(executor, merged)
         executor.driving_rows_total = outcome.driving_rows
         before = self.catalog.meter.snapshot()
-        rows = executor.run_to_completion()
+        try:
+            rows = executor.run_to_completion()
+        except BudgetExceeded as error:
+            # Fold the partitioned prefix into the continuation's partial
+            # progress so the caller sees whole-query numbers.
+            raise BudgetExceeded(
+                error.reason,
+                rows_emitted=len(outcome.rows) + error.rows_emitted,
+                work_units=self.catalog.meter.total_units - self._work_floor,
+                elapsed_seconds=time.perf_counter() - self._started_at,
+                driving_rows=error.driving_rows,
+            ) from error
         outcome.critical_path_units += (
             self.catalog.meter - before
         ).total_units

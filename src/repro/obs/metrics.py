@@ -129,6 +129,37 @@ class Histogram:
             return None
         return self.sum(label) / count
 
+    def quantile(self, q: float, label: str = "") -> float | None:
+        """Estimate the *q*-quantile (0 < q <= 1) from the bucket counts.
+
+        Uses linear interpolation inside the bucket where the cumulative
+        count crosses ``q * count`` (the Prometheus ``histogram_quantile``
+        rule): the first finite bucket interpolates from 0, and a target
+        landing in the ``+Inf`` bucket is clamped to the highest finite
+        boundary — an estimator, not an exact order statistic. Returns
+        None when nothing was observed.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile q must be in (0, 1]")
+        total = self.count(label)
+        if total == 0:
+            return None
+        counts = self._buckets[label]
+        target = q * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if i >= len(self.boundaries):
+                    return self.boundaries[-1]
+                low = self.boundaries[i - 1] if i > 0 else 0.0
+                high = self.boundaries[i]
+                fraction = (target - cumulative) / bucket_count
+                return low + (high - low) * fraction
+            cumulative += bucket_count
+        return self.boundaries[-1]  # pragma: no cover - defensive
+
     def buckets(self, label: str = "") -> dict[str, int]:
         """Bucket counts keyed by ``le`` upper bound (non-cumulative)."""
         counts = self._buckets.get(label, [0] * (len(self.boundaries) + 1))

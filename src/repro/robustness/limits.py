@@ -30,18 +30,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class CancellationToken:
     """Thread-safe cooperative cancellation flag.
 
-    A client (timeout thread, signal handler, admission controller) calls
-    :meth:`cancel`; the executor observes it at the next safe point.
+    A client (timeout thread, signal handler, admission controller, server
+    connection handler) calls :meth:`cancel`; the executor observes it at
+    the next safe point — or, for partitioned parallel execution, the
+    coordinator observes it at the next wave barrier.
+
+    Guarantees:
+
+    * :meth:`cancel` is **idempotent** — only the first call wins; its
+      reason is the one every later observer reads, and repeat calls
+      (from any thread, with any reason) change nothing;
+    * :meth:`cancel` is **thread-safe** — concurrent callers race only
+      for who is first; the flag and the reason are always consistent
+      (the reason is published before the event is set, so an executor
+      that sees ``cancelled`` reads the winning reason).
     """
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self.reason: str = "cancelled"
 
-    def cancel(self, reason: str | None = None) -> None:
-        if reason is not None:
-            self.reason = reason
-        self._event.set()
+    def cancel(self, reason: str | None = None) -> bool:
+        """Latch the token; returns True only for the winning first call."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            if reason is not None:
+                self.reason = reason
+            self._event.set()
+            return True
 
     @property
     def cancelled(self) -> bool:

@@ -1,0 +1,261 @@
+"""Admission control: bounded queues, worker slots, degradation ladder.
+
+The server never buffers without bound. A query is either
+
+1. **admitted** — it takes a queue slot (global and per-session caps) and
+   later a worker slot (the concurrency semaphore), or
+2. **rejected** — an explicit ``REJECTED_OVERLOAD`` / ``RATE_LIMITED`` /
+   ``SHUTTING_DOWN`` response, immediately, while the session stays
+   healthy.
+
+Between "fully admitted" and "rejected" sits the **degradation ladder**
+(Sec "graceful degradation" of the serving design): as queue pressure
+rises the server first strips intra-query parallelism (``serial``), then
+strips the adaptive layer entirely and runs the static plan
+(``static``) — both are strictly-less-work execution modes with identical
+results — and only rejects once the bounded queue is actually full.
+
+State machine per query::
+
+    submit ──rate bucket empty──────────────▶ RATE_LIMITED
+       │
+       ├─draining───────────────────────────▶ SHUTTING_DOWN
+       │
+       ├─queue full (global or session)─────▶ REJECTED_OVERLOAD
+       │
+       ▼
+    QUEUED ──scheduler round-robin──▶ RUNNING(shed level from pressure)
+       │                                 │
+       │ disconnect: dropped             ├─ ok / BUDGET_EXCEEDED / CANCELLED
+       ▼                                 ▼
+     (dropped, no response)           response
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AdaptiveConfig, ReorderMode
+from repro.robustness.limits import CancellationToken, ExecutionLimits
+from repro.server.protocol import ErrorCode, QueryRequest
+from repro.server.session import Session
+
+#: Degradation ladder levels, mildest first.
+SHED_NONE = "none"      # requested config, parallelism allowed
+SHED_SERIAL = "serial"  # strip intra-query parallelism
+SHED_STATIC = "static"  # strip the adaptive layer: static plan, serial
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """QoS knobs of one server instance (all enforced server-side)."""
+
+    host: str = "127.0.0.1"
+    port: int = 7654
+    # Worker slots: queries executing concurrently (the semaphore width).
+    max_concurrency: int = 4
+    # Bounded admission queue (beyond the executing queries); full → reject.
+    max_queue_depth: int = 32
+    # Per-session cap inside the global queue, so one pipelining client
+    # cannot occupy the whole admission budget.
+    max_queue_per_session: int = 8
+    # Per-request budget defaults and server-side maxima. A client may ask
+    # for less than the default or more — up to the max — never beyond.
+    default_timeout_ms: float = 10_000.0
+    max_timeout_ms: float = 60_000.0
+    default_max_rows: int = 100_000
+    max_max_rows: int = 1_000_000
+    # Optional per-query work-unit ceiling (None = unlimited).
+    max_work_units: float | None = None
+    # Token bucket per session; rate <= 0 disables rate limiting.
+    rate_limit_qps: float = 0.0
+    rate_limit_burst: float = 8.0
+    # Degradation ladder thresholds as fractions of max_queue_depth.
+    shed_serial_at: float = 0.25
+    shed_static_at: float = 0.50
+    # Intra-query parallelism granted to fully-admitted queries (1 = off).
+    # Parallel-granted queries trade their row/work caps for barrier-
+    # enforced deadline+cancellation (see executor/parallel.py).
+    engine_workers: int = 1
+    # Batched executor settings for served queries (0 batch = scalar path).
+    engine_batch_size: int = 256
+    # Shared plan-cache capacity (normalized statements; 0 disables).
+    plan_cache_size: int = 256
+    # Seconds to wait for in-flight queries on SIGTERM before cancelling.
+    drain_grace_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_queue_per_session < 1:
+            raise ValueError("max_queue_per_session must be >= 1")
+        if not 0.0 <= self.shed_serial_at <= 1.0:
+            raise ValueError("shed_serial_at must be in [0, 1]")
+        if not self.shed_serial_at <= self.shed_static_at <= 1.0:
+            raise ValueError(
+                "shed thresholds must satisfy serial <= static <= 1"
+            )
+        if self.default_timeout_ms > self.max_timeout_ms:
+            raise ValueError("default_timeout_ms must be <= max_timeout_ms")
+        if self.default_max_rows > self.max_max_rows:
+            raise ValueError("default_max_rows must be <= max_max_rows")
+        if self.engine_workers < 1:
+            raise ValueError("engine_workers must be >= 1")
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one submit: either admitted or a rejection code."""
+
+    admitted: bool
+    reject_code: str | None = None
+    reject_reason: str | None = None
+
+
+@dataclass
+class AdmissionController:
+    """Bounded admission state shared by every session.
+
+    Queue accounting lives here (the scheduler owns the actual FIFOs);
+    worker-slot accounting (`in_flight`) is incremented by the server's
+    worker loops. Everything runs on the event loop thread — no locks.
+    """
+
+    config: ServerConfig
+    queued: int = 0
+    in_flight: int = 0
+    draining: bool = False
+    # Lifetime counters, surfaced by the stats op.
+    accepted_total: int = 0
+    rejected_overload_total: int = 0
+    rejected_rate_limit_total: int = 0
+    rejected_draining_total: int = 0
+    shed_totals: dict = field(
+        default_factory=lambda: {SHED_SERIAL: 0, SHED_STATIC: 0}
+    )
+
+    def submit(self, session: Session) -> AdmissionDecision:
+        """Decide admission for one more query from *session*."""
+        if self.draining:
+            self.rejected_draining_total += 1
+            return AdmissionDecision(
+                False,
+                ErrorCode.SHUTTING_DOWN,
+                "server is draining; no new queries accepted",
+            )
+        if not session.bucket.try_take():
+            self.rejected_rate_limit_total += 1
+            session.rejected += 1
+            return AdmissionDecision(
+                False,
+                ErrorCode.RATE_LIMITED,
+                f"rate limit exceeded "
+                f"({self.config.rate_limit_qps:g} queries/s, "
+                f"burst {self.config.rate_limit_burst:g})",
+            )
+        if self.queued >= self.config.max_queue_depth:
+            self.rejected_overload_total += 1
+            session.rejected += 1
+            return AdmissionDecision(
+                False,
+                ErrorCode.REJECTED_OVERLOAD,
+                f"admission queue full ({self.queued} queued)",
+            )
+        if len(session.queue) >= self.config.max_queue_per_session:
+            self.rejected_overload_total += 1
+            session.rejected += 1
+            return AdmissionDecision(
+                False,
+                ErrorCode.REJECTED_OVERLOAD,
+                f"session queue full "
+                f"({len(session.queue)} queued by {session.name})",
+            )
+        self.accepted_total += 1
+        self.queued += 1
+        return AdmissionDecision(True)
+
+    def on_dequeued(self, count: int = 1) -> None:
+        self.queued = max(0, self.queued - count)
+
+    # -- degradation ladder -------------------------------------------
+    def shed_level(self) -> str:
+        """Current rung of the degradation ladder, from queue pressure."""
+        pressure = self.queued / self.config.max_queue_depth
+        if pressure >= self.config.shed_static_at:
+            return SHED_STATIC
+        if pressure >= self.config.shed_serial_at:
+            return SHED_SERIAL
+        return SHED_NONE
+
+    def apply_shed(
+        self, request: QueryRequest, shed: str
+    ) -> AdaptiveConfig:
+        """The :class:`AdaptiveConfig` actually executed for *request*.
+
+        ``none``   → requested mode, parallel workers as granted;
+        ``serial`` → requested mode, workers forced to 1;
+        ``static`` → mode NONE (static plan, no monitors), workers 1.
+        Sheds are recorded in :attr:`shed_totals`.
+        """
+        config = self.config
+        if shed == SHED_STATIC:
+            self.shed_totals[SHED_STATIC] += 1
+            mode, workers = ReorderMode.NONE, 1
+        elif shed == SHED_SERIAL:
+            self.shed_totals[SHED_SERIAL] += 1
+            mode, workers = request.mode, 1
+        else:
+            granted = min(request.workers or 1, config.engine_workers)
+            mode, workers = request.mode, max(granted, 1)
+        batched = config.engine_batch_size > 0
+        return AdaptiveConfig(
+            mode=mode,
+            workers=workers,
+            batched=batched,
+            batch_size=config.engine_batch_size if batched else 256,
+            monitor_granularity="chunk" if (batched and mode.monitors) else "exact",
+        )
+
+    def build_limits(
+        self,
+        request: QueryRequest,
+        applied: AdaptiveConfig,
+        token: CancellationToken | None = None,
+    ) -> tuple[ExecutionLimits, CancellationToken]:
+        """Server-clamped budgets for one request.
+
+        Client-requested budgets are clamped to the server maxima; absent
+        budgets get the server defaults. Parallel-granted executions drop
+        the row/work caps (enforced per-process only) and keep the
+        deadline + cancellation pair, which the parallel coordinator
+        enforces at wave barriers. *token* is the query's cancellation
+        token — created at admission time so a disconnect can cancel the
+        query while it is still queued.
+        """
+        config = self.config
+        if token is None:
+            token = CancellationToken()
+        timeout_ms = min(
+            request.timeout_ms or config.default_timeout_ms,
+            config.max_timeout_ms,
+        )
+        if applied.workers > 1:
+            max_rows = None
+            max_work = None
+        else:
+            max_rows = min(
+                request.max_rows or config.default_max_rows,
+                config.max_max_rows,
+            )
+            max_work = config.max_work_units
+        return (
+            ExecutionLimits(
+                max_rows=max_rows,
+                max_work_units=max_work,
+                timeout_seconds=timeout_ms / 1000.0,
+                cancellation=token,
+            ),
+            token,
+        )

@@ -1,0 +1,151 @@
+"""A shared cross-query plan cache with single-flight stampede protection.
+
+Keyed by the **normalized statement text** (whitespace-canonical, literals
+preserved — see :func:`repro.server.protocol.normalize_sql`): a
+:class:`~repro.optimizer.plans.PipelinePlan` embeds its predicate
+constants, so only semantically identical statements may share a plan.
+The :func:`~repro.server.protocol.template_signature` (literals → ``?``)
+is carried per entry for metrics grouping only.
+
+Single-flight: when N worker threads miss on the same key at once, one
+becomes the *leader* and plans; the other N-1 block on the entry's event
+and reuse the leader's plan — the optimizer runs once per statement per
+catalog generation, never once per concurrent request (the classic cache
+stampede). If the leader fails, a waiter is promoted and retries, so one
+poisoned request cannot wedge the key.
+
+Entries are LRU-bounded and invalidated by catalog generation (the same
+fingerprint that invalidates the parallel fork pool), so DDL between
+queries can never serve a stale plan. Thread-safe: worker threads plan,
+the event loop reads stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.server.protocol import normalize_sql, template_signature
+
+#: get_or_plan outcomes (also used as metrics labels).
+HIT = "hit"
+MISS = "miss"
+WAIT = "wait"  # blocked on another thread's in-flight planning, then hit
+
+
+class _InFlight:
+    """Leader/waiter rendezvous for one key being planned."""
+
+    __slots__ = ("event", "plan", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.plan: Any = None
+        self.error: BaseException | None = None
+
+
+class PlanCache:
+    """LRU plan cache with generation invalidation and single-flight."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        # key -> (plan, generation); OrderedDict for LRU order.
+        self._entries: "OrderedDict[str, tuple[Any, tuple]]" = OrderedDict()
+        self._in_flight: dict[str, _InFlight] = {}
+        self.hits = 0
+        self.misses = 0
+        self.waits = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key_of(sql: str) -> str:
+        return normalize_sql(sql)
+
+    def get_or_plan(
+        self,
+        sql: str,
+        generation: tuple,
+        planner: Callable[[str], Any],
+    ) -> tuple[Any, str]:
+        """Return ``(plan, outcome)`` where outcome is hit/miss/wait.
+
+        *planner* is invoked (outside the cache lock) by at most one
+        thread per key at a time; its exceptions propagate to the leader
+        and every waiter of that round.
+        """
+        if self.capacity <= 0:
+            self.misses += 1
+            return planner(sql), MISS
+        key = self.key_of(sql)
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    plan, cached_generation = cached
+                    if cached_generation == generation:
+                        self._entries.move_to_end(key)
+                        self.hits += 1
+                        return plan, HIT
+                    # Stale: the catalog changed since this was planned.
+                    del self._entries[key]
+                    self.invalidations += 1
+                flight = self._in_flight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._in_flight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                try:
+                    plan = planner(sql)
+                    flight.plan = plan
+                except BaseException as error:
+                    flight.error = error
+                    raise
+                finally:
+                    with self._lock:
+                        self._in_flight.pop(key, None)
+                        if flight.error is None and flight.plan is not None:
+                            self._entries[key] = (flight.plan, generation)
+                            self._entries.move_to_end(key)
+                            self._evict_over_capacity()
+                        self.misses += 1
+                    flight.event.set()
+                return plan, MISS
+            flight.event.wait()
+            if flight.error is None and flight.plan is not None:
+                with self._lock:
+                    self.waits += 1
+                return flight.plan, WAIT
+            # Leader failed — loop around and retry as a new leader.
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "single_flight_waits": self.waits,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def entry_templates(self) -> list[str]:
+        """Template signatures of the cached statements (metrics/debug)."""
+        with self._lock:
+            keys = list(self._entries)
+        return [template_signature(key) for key in keys]

@@ -1,0 +1,217 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One JSON object per line in each direction. Requests carry an ``op`` and
+an optional client-chosen ``id`` that is echoed verbatim on the response,
+so clients may pipeline requests and match answers out of band.
+
+Requests::
+
+    {"op": "query", "id": 7, "sql": "SELECT ...", "mode": "both",
+     "timeout_ms": 2000, "max_rows": 1000, "workers": 1}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Responses::
+
+    {"id": 7, "status": "ok", "rows": [[...], ...], "row_count": 2,
+     "stats": {"work_units": ..., "wall_ms": ..., "switches": ...,
+               "shed": "none", "plan_cache": "hit", ...}}
+    {"id": 7, "status": "error", "code": "REJECTED_OVERLOAD",
+     "error": "admission queue full (32 queued)"}
+
+Every error response carries a machine-readable ``code`` from
+:class:`ErrorCode`; ``REJECTED_OVERLOAD`` and ``RATE_LIMITED`` are *load
+signals*, not failures — the session stays healthy and the client may
+retry with backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import ReorderMode
+
+#: Hard cap on one request line; longer lines are a protocol error (and
+#: asyncio's readline enforces it before the JSON parse).
+MAX_LINE_BYTES = 1_048_576
+
+
+class ErrorCode:
+    """Machine-readable error codes carried by error responses."""
+
+    BAD_REQUEST = "BAD_REQUEST"            # malformed JSON / unknown op / bad field
+    SQL_ERROR = "SQL_ERROR"                # parse / plan / catalog failure
+    BUDGET_EXCEEDED = "BUDGET_EXCEEDED"    # row, work, or deadline budget hit
+    CANCELLED = "CANCELLED"                # cancellation token fired
+    RATE_LIMITED = "RATE_LIMITED"          # session token bucket empty
+    REJECTED_OVERLOAD = "REJECTED_OVERLOAD"  # admission queue full
+    SHUTTING_DOWN = "SHUTTING_DOWN"        # server is draining
+    INTERNAL = "INTERNAL"                  # unexpected engine failure
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be honoured; maps to ``BAD_REQUEST``."""
+
+
+_MODE_VALUES = {mode.value for mode in ReorderMode}
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A validated ``op=query`` request."""
+
+    sql: str
+    request_id: Any = None
+    mode: ReorderMode = ReorderMode.BOTH
+    timeout_ms: float | None = None
+    max_rows: int | None = None
+    workers: int | None = None
+
+
+def _positive_number(msg: dict, key: str) -> float | None:
+    value = msg.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key} must be a number, got {value!r}")
+    if value <= 0:
+        raise ProtocolError(f"{key} must be > 0, got {value!r}")
+    return float(value)
+
+
+def decode_request(line: str | bytes) -> dict:
+    """Parse one request line into a dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("request line exceeds the 1 MiB limit")
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(msg).__name__}"
+        )
+    op = msg.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request is missing the 'op' field")
+    return msg
+
+
+def parse_query_request(msg: dict) -> QueryRequest:
+    """Validate an ``op=query`` message into a :class:`QueryRequest`."""
+    sql = msg.get("sql")
+    if not isinstance(sql, str) or not sql.strip():
+        raise ProtocolError("query request needs a non-empty 'sql' string")
+    mode_value = msg.get("mode", ReorderMode.BOTH.value)
+    if mode_value not in _MODE_VALUES:
+        raise ProtocolError(
+            f"mode {mode_value!r} not one of {sorted(_MODE_VALUES)}"
+        )
+    timeout_ms = _positive_number(msg, "timeout_ms")
+    max_rows = msg.get("max_rows")
+    if max_rows is not None:
+        if isinstance(max_rows, bool) or not isinstance(max_rows, int):
+            raise ProtocolError(f"max_rows must be an int, got {max_rows!r}")
+        if max_rows < 1:
+            raise ProtocolError(f"max_rows must be >= 1, got {max_rows!r}")
+    workers = msg.get("workers")
+    if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ProtocolError(f"workers must be an int, got {workers!r}")
+        if workers < 1:
+            raise ProtocolError(f"workers must be >= 1, got {workers!r}")
+    return QueryRequest(
+        sql=sql,
+        request_id=msg.get("id"),
+        mode=ReorderMode(mode_value),
+        timeout_ms=timeout_ms,
+        max_rows=max_rows,
+        workers=workers,
+    )
+
+
+def ok_response(
+    request_id: Any,
+    rows: list[tuple],
+    stats: dict[str, Any],
+) -> dict:
+    return {
+        "id": request_id,
+        "status": "ok",
+        "rows": [list(row) for row in rows],
+        "row_count": len(rows),
+        "stats": stats,
+    }
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **extra: Any
+) -> dict:
+    payload: dict[str, Any] = {
+        "id": request_id,
+        "status": "error",
+        "code": code,
+        "error": message,
+    }
+    payload.update(extra)
+    return payload
+
+
+def encode_response(payload: dict) -> bytes:
+    """One response line: compact JSON + newline."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# SQL normalization (plan-cache keys and template grouping)
+# ---------------------------------------------------------------------------
+# Split SQL into single-quoted string literals and everything else, so
+# normalization never rewrites inside a literal ('' is the escaped quote).
+_TOKEN = re.compile(r"'(?:[^']|'')*'|[^']+")
+_WS = re.compile(r"\s+")
+_NUMBER = re.compile(r"\b\d+(?:\.\d+)?\b")
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical text of *sql*: whitespace collapsed outside string literals.
+
+    This is the **plan-cache key**. Literals are deliberately preserved:
+    a :class:`~repro.optimizer.plans.PipelinePlan` embeds its predicate
+    constants (index ranges, residual comparisons), so two queries that
+    differ only in literals need *different* plans — the cache may only
+    hit on semantically identical statements.
+    """
+    parts: list[str] = []
+    for match in _TOKEN.finditer(sql):
+        token = match.group(0)
+        if token.startswith("'"):
+            parts.append(token)
+        else:
+            parts.append(_WS.sub(" ", token))
+    return "".join(parts).strip()
+
+
+def template_signature(sql: str) -> str:
+    """The query's *template*: literals replaced by ``?``.
+
+    Used only for grouping metrics (per-template hit rates, latency) —
+    never as a plan-cache key, because plans embed their constants.
+    """
+    parts: list[str] = []
+    for match in _TOKEN.finditer(sql):
+        token = match.group(0)
+        if token.startswith("'"):
+            parts.append("?")
+        else:
+            parts.append(_NUMBER.sub("?", _WS.sub(" ", token)))
+    return "".join(parts).strip()

@@ -1,0 +1,515 @@
+"""The asyncio query server: sessions, worker slots, drain, live stats.
+
+Topology::
+
+    client ──NDJSON──▶ connection handler ──▶ admission ──▶ fair scheduler
+                                                │ reject            │
+                                                ▼                   ▼
+                                            response ◀── worker slot × N
+                                                             │ to_thread
+                                                             ▼
+                                              DatabaseEngine (plan cache +
+                                              thread-scoped meter + limits)
+
+* The **connection handler** (one per client) only parses, admits, and
+  enqueues — it never blocks on the engine, so a slow query cannot stall
+  another client's rejections or pings.
+* **Worker slots** are ``max_concurrency`` asyncio tasks — the admission
+  semaphore in loop form. Each pulls the next query in round-robin
+  session order, applies the degradation ladder at *dequeue* time (the
+  pressure reading is freshest there), and runs the engine in a thread.
+* The **engine** executes with server-clamped
+  :class:`~repro.robustness.limits.ExecutionLimits` wired to the
+  request's :class:`~repro.robustness.limits.CancellationToken`; a client
+  disconnect cancels its in-flight queries cooperatively at the next
+  pipeline safe point or parallel wave barrier.
+* **SIGTERM/SIGINT** start a drain: the listener closes, new queries get
+  ``SHUTTING_DOWN``, in-flight queries finish (bounded by a grace
+  period, then cancelled), and ``serve_forever`` returns 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.db import Database
+from repro.errors import (
+    BudgetExceeded,
+    CatalogError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.executor.parallel import catalog_generation
+from repro.obs.metrics import MetricsRegistry
+from repro.robustness.limits import CancellationToken, ExecutionLimits
+from repro.server.admission import (
+    AdmissionController,
+    SHED_SERIAL,
+    SHED_STATIC,
+    ServerConfig,
+)
+from repro.server.plancache import PlanCache
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_query_request,
+)
+from repro.server.scheduler import FairScheduler
+from repro.server.session import PendingQuery, Session, TokenBucket
+
+#: End-to-end latency buckets (ms), admission to response.
+LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """What one engine execution produced, ready for serialization."""
+
+    rows: list[tuple]
+    work_units: float
+    wall_ms: float
+    switches: int
+    degraded: bool
+    workers: int
+    plan_cache: str  # hit / miss / wait / off
+
+
+class DatabaseEngine:
+    """Thread-side adapter: plan cache + scoped metering + execution.
+
+    ``execute`` runs on worker threads (via ``asyncio.to_thread``); all
+    shared state it touches is thread-safe: the plan cache locks, the
+    thread-scoped meter isolates per-query work accounting, and parallel
+    (fork-pool) executions are serialized by a mutex because the pool is
+    one shared resource.
+    """
+
+    def __init__(self, db: Database, config: ServerConfig) -> None:
+        self.db = db
+        self.config = config
+        self.plan_cache = PlanCache(config.plan_cache_size)
+        self.meter = db.enable_concurrent_metering()
+        self._parallel_mutex = threading.Lock()
+        # Fold rows appended after index creation so the first concurrent
+        # queries cannot race a lazy refresh.
+        for name in db.catalog.table_names():
+            for index in db.catalog.indexes_of(name).values():
+                index.refresh()
+
+    def execute(self, sql: str, config, limits: ExecutionLimits) -> EngineResult:
+        generation = catalog_generation(self.db.catalog)
+        plan, outcome = self.plan_cache.get_or_plan(
+            sql, generation, self.db.plan
+        )
+        if self.plan_cache.capacity <= 0:
+            outcome = "off"
+        with self.meter.scoped():
+            if config.workers > 1:
+                with self._parallel_mutex:
+                    result = self.db.execute(plan, config, limits=limits)
+            else:
+                result = self.db.execute(plan, config, limits=limits)
+        return EngineResult(
+            rows=result.rows,
+            work_units=result.stats.total_work,
+            wall_ms=result.stats.wall_seconds * 1000.0,
+            switches=result.stats.total_switches,
+            degraded=result.stats.degraded,
+            workers=result.stats.workers,
+            plan_cache=outcome,
+        )
+
+
+class QueryServer:
+    """One serving instance over one :class:`~repro.db.Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: ServerConfig | None = None,
+        *,
+        engine: Any | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.admission = AdmissionController(self.config)
+        self.scheduler = FairScheduler()
+        self.engine = engine if engine is not None else DatabaseEngine(
+            db, self.config
+        )
+        self.metrics = MetricsRegistry()
+        self.sessions: dict[int, Session] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: list[asyncio.Task] = []
+        self._done = asyncio.Event()
+        self._draining = False
+        self._started_at = time.monotonic()
+        self.protocol_errors = 0
+        self.exit_code = 0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._started_at = time.monotonic()
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"query-slot-{i}")
+            for i in range(self.config.max_concurrency)
+        ]
+
+    async def serve_forever(
+        self,
+        *,
+        install_signals: bool = True,
+        on_ready: Any | None = None,
+    ) -> int:
+        """Run until SIGTERM/SIGINT drains the server; returns exit code.
+
+        *on_ready* (if given) is called with the server once the listener
+        is bound — the point at which :attr:`port` is known.
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(
+                        signum,
+                        lambda s=signum: asyncio.ensure_future(
+                            self.shutdown(reason=signal.Signals(s).name)
+                        ),
+                    )
+        await self._done.wait()
+        return self.exit_code
+
+    async def shutdown(
+        self, *, grace: float | None = None, reason: str = "shutdown"
+    ) -> None:
+        """Drain-then-exit: stop intake, finish in-flight, then stop."""
+        if self._draining:
+            return
+        self._draining = True
+        self.admission.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        grace = self.config.drain_grace_seconds if grace is None else grace
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while (
+            self.admission.in_flight > 0 or self.scheduler.pending > 0
+        ) and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        if self.admission.in_flight > 0:
+            # Grace expired: cancel stragglers cooperatively and let the
+            # worker slots return their BUDGET_EXCEEDED responses.
+            for session in list(self.sessions.values()):
+                for token in tuple(session.in_flight):
+                    token.cancel(f"server draining ({reason})")
+            cancel_deadline = loop.time() + max(grace, 1.0)
+            while self.admission.in_flight > 0 and loop.time() < cancel_deadline:
+                await asyncio.sleep(0.02)
+        await self.scheduler.stop()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for writer in list(self._writers.values()):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._done.set()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        session = Session(
+            peer=str(peername),
+            bucket=TokenBucket(
+                self.config.rate_limit_qps, self.config.rate_limit_burst
+            ),
+        )
+        write_lock = asyncio.Lock()
+
+        async def send(payload: dict) -> None:
+            if writer.is_closing():
+                return
+            async with write_lock:
+                writer.write(encode_response(payload))
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+
+        session.send = send
+        self.sessions[session.session_id] = session
+        self._writers[session.session_id] = writer
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await self._dispatch(session, line)
+        finally:
+            dropped = session.disconnect()
+            dropped += await self.scheduler.remove_session(session)
+            if dropped:
+                self.admission.on_dequeued(dropped)
+                self.metrics.counter("server_dropped_on_disconnect_total").inc(
+                    amount=dropped
+                )
+            self.sessions.pop(session.session_id, None)
+            self._writers.pop(session.session_id, None)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, session: Session, line: bytes) -> None:
+        send = session.send
+        assert send is not None
+        try:
+            msg = decode_request(line)
+        except ProtocolError as error:
+            self.protocol_errors += 1
+            await send(
+                error_response(None, ErrorCode.BAD_REQUEST, str(error))
+            )
+            return
+        op = msg["op"]
+        request_id = msg.get("id")
+        if op == "ping":
+            await send({"id": request_id, "status": "ok", "pong": True})
+            return
+        if op == "stats":
+            await send(
+                {"id": request_id, "status": "ok", "stats": self.stats_payload()}
+            )
+            return
+        if op != "query":
+            self.protocol_errors += 1
+            await send(
+                error_response(
+                    request_id, ErrorCode.BAD_REQUEST, f"unknown op {op!r}"
+                )
+            )
+            return
+        try:
+            request = parse_query_request(msg)
+        except ProtocolError as error:
+            self.protocol_errors += 1
+            await send(
+                error_response(request_id, ErrorCode.BAD_REQUEST, str(error))
+            )
+            return
+        decision = self.admission.submit(session)
+        if not decision.admitted:
+            self.metrics.counter("server_rejections_total").inc(
+                decision.reject_code or "unknown"
+            )
+            await send(
+                error_response(
+                    request_id,
+                    decision.reject_code or ErrorCode.INTERNAL,
+                    decision.reject_reason or "rejected",
+                )
+            )
+            return
+        session.submitted += 1
+        pending = PendingQuery(
+            request=request,
+            session=session,
+            token=CancellationToken(),
+            enqueued_at=time.perf_counter(),
+        )
+        await self.scheduler.enqueue(pending)
+
+    # -- worker slots ---------------------------------------------------
+    async def _worker_loop(self) -> None:
+        while True:
+            pending = await self.scheduler.next()
+            if pending is None:
+                return
+            self.admission.on_dequeued()
+            session = pending.session
+            if session.closed or pending.token.cancelled:
+                continue
+            await self._run_one(pending)
+
+    async def _run_one(self, pending: PendingQuery) -> None:
+        session = pending.session
+        request = pending.request
+        shed = self.admission.shed_level()
+        applied = self.admission.apply_shed(request, shed)
+        limits, _ = self.admission.build_limits(
+            request, applied, token=pending.token
+        )
+        self.admission.in_flight += 1
+        session.in_flight.add(pending.token)
+        queued_ms = (time.perf_counter() - pending.enqueued_at) * 1000.0
+        outcome = "ok"
+        try:
+            result = await asyncio.to_thread(
+                self.engine.execute, request.sql, applied, limits
+            )
+            payload = ok_response(
+                request.request_id,
+                result.rows,
+                {
+                    "work_units": round(result.work_units, 3),
+                    "wall_ms": round(result.wall_ms, 3),
+                    "queued_ms": round(queued_ms, 3),
+                    "switches": result.switches,
+                    "degraded": result.degraded,
+                    "mode": applied.mode.value,
+                    "workers": result.workers,
+                    "shed": shed,
+                    "plan_cache": result.plan_cache,
+                },
+            )
+            self.metrics.counter("server_rows_returned_total").inc(
+                amount=len(result.rows)
+            )
+        except BudgetExceeded as error:
+            if pending.token.cancelled:
+                outcome = "cancelled"
+                code = ErrorCode.CANCELLED
+            else:
+                outcome = "budget_exceeded"
+                code = ErrorCode.BUDGET_EXCEEDED
+            payload = error_response(
+                request.request_id,
+                code,
+                error.progress_summary(),
+                progress={
+                    "rows_emitted": error.rows_emitted,
+                    "work_units": round(error.work_units, 3),
+                    "elapsed_ms": round(error.elapsed_seconds * 1000.0, 3),
+                    "driving_rows": error.driving_rows,
+                },
+            )
+        except (QueryError, PlanError, CatalogError, SchemaError) as error:
+            outcome = "sql_error"
+            payload = error_response(
+                request.request_id, ErrorCode.SQL_ERROR, str(error)
+            )
+        except ReproError as error:
+            outcome = "internal_error"
+            payload = error_response(
+                request.request_id, ErrorCode.INTERNAL, str(error)
+            )
+        except Exception as error:  # engine bug: answer, keep the slot alive
+            outcome = "internal_error"
+            payload = error_response(
+                request.request_id,
+                ErrorCode.INTERNAL,
+                f"{type(error).__name__}: {error}",
+            )
+        finally:
+            self.admission.in_flight -= 1
+            session.in_flight.discard(pending.token)
+        session.completed += 1
+        self.metrics.counter("server_queries_total").inc(outcome)
+        if shed != "none":
+            self.metrics.counter("server_shed_total").inc(shed)
+        self.metrics.histogram(
+            "server_latency_ms", LATENCY_BUCKETS_MS
+        ).observe((time.perf_counter() - pending.enqueued_at) * 1000.0)
+        send = session.send
+        if send is not None:
+            await send(payload)
+
+    # -- stats -----------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """The live ``stats`` document (see scripts/validate_stats.py)."""
+        admission = self.admission
+        config = self.config
+        queries = self.metrics.counter("server_queries_total")
+        latency = self.metrics.histogram(
+            "server_latency_ms", LATENCY_BUCKETS_MS
+        )
+        self.metrics.gauge("server_queue_depth").set(admission.queued)
+        self.metrics.gauge("server_in_flight").set(admission.in_flight)
+        plan_cache = getattr(self.engine, "plan_cache", None)
+        return {
+            "server": {
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "sessions": len(self.sessions),
+                "draining": self._draining,
+                "protocol_errors": self.protocol_errors,
+            },
+            "admission": {
+                "in_flight": admission.in_flight,
+                "queue_depth": admission.queued,
+                "max_concurrency": config.max_concurrency,
+                "max_queue_depth": config.max_queue_depth,
+                "accepted_total": admission.accepted_total,
+                "rejected_overload_total": admission.rejected_overload_total,
+                "rejected_rate_limit_total": admission.rejected_rate_limit_total,
+                "rejected_draining_total": admission.rejected_draining_total,
+                "shed_serial_total": admission.shed_totals[SHED_SERIAL],
+                "shed_static_total": admission.shed_totals[SHED_STATIC],
+            },
+            "latency_ms": {
+                "count": latency.count(),
+                "mean": latency.mean(),
+                "p50": latency.quantile(0.50),
+                "p95": latency.quantile(0.95),
+                "p99": latency.quantile(0.99),
+            },
+            "queries": {
+                "ok_total": queries.value("ok"),
+                "budget_exceeded_total": queries.value("budget_exceeded"),
+                "cancelled_total": queries.value("cancelled"),
+                "sql_error_total": queries.value("sql_error"),
+                "internal_error_total": queries.value("internal_error"),
+                "rows_returned_total": self.metrics.counter(
+                    "server_rows_returned_total"
+                ).total,
+                "dropped_on_disconnect_total": self.metrics.counter(
+                    "server_dropped_on_disconnect_total"
+                ).total,
+            },
+            "plan_cache": (
+                plan_cache.stats()
+                if plan_cache is not None
+                else {
+                    "size": 0, "capacity": 0, "hits": 0, "misses": 0,
+                    "single_flight_waits": 0, "evictions": 0,
+                    "invalidations": 0,
+                }
+            ),
+        }

@@ -23,6 +23,8 @@ them.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 
@@ -194,3 +196,68 @@ class WorkMeter:
             probe_cache_hits=self.probe_cache_hits - other.probe_cache_hits,
             probe_cache_misses=self.probe_cache_misses - other.probe_cache_misses,
         )
+
+
+class ThreadScopedMeter:
+    """A :class:`WorkMeter` facade routing charges to a per-thread meter.
+
+    Concurrent query serving runs executions on worker threads against one
+    shared catalog, but the catalog — and every table built from it — holds
+    a single ``WorkMeter`` reference, so concurrent charges would interleave
+    and per-query ``meter - before`` deltas would mix unrelated queries'
+    work. This facade keeps the object identity the storage layer captured
+    while routing every charge to the meter bound to the *current thread*:
+
+    * a thread inside a :meth:`scoped` block charges its private meter, so
+      its query's delta is exact regardless of what other threads do;
+    * every other thread — including forked parallel worker processes,
+      whose fresh process starts with no binding — falls through to the
+      shared base meter, preserving single-threaded behaviour.
+
+    On scope exit the private meter folds into the base under a lock, so
+    catalog-lifetime totals remain the sum of all work ever done.
+    """
+
+    def __init__(self, base: WorkMeter | None = None) -> None:
+        self._base = base if base is not None else WorkMeter()
+        self._local = threading.local()
+        self._merge_lock = threading.Lock()
+
+    @property
+    def base(self) -> WorkMeter:
+        """The shared fallback meter (catalog-lifetime totals)."""
+        return self._base
+
+    def _current(self) -> WorkMeter:
+        meter = getattr(self._local, "meter", None)
+        return meter if meter is not None else self._base
+
+    @contextmanager
+    def scoped(self):
+        """Bind a fresh private meter to the calling thread.
+
+        Yields the private meter; on exit its charges are merged into the
+        base. Scopes do not nest — one query per worker thread at a time.
+        """
+        if getattr(self._local, "meter", None) is not None:
+            raise RuntimeError("meter scope already active on this thread")
+        meter = WorkMeter()
+        self._local.meter = meter
+        try:
+            yield meter
+        finally:
+            self._local.meter = None
+            with self._merge_lock:
+                self._base.merge(meter)
+
+    def __getattr__(self, name: str):
+        # Fields and bound methods (charge_*, snapshot, merge, totals) all
+        # resolve against the thread's active meter.
+        return getattr(self._current(), name)
+
+    def __sub__(self, other: WorkMeter) -> WorkMeter:
+        return self._current() - other
+
+    def __iadd__(self, other: WorkMeter) -> "ThreadScopedMeter":
+        self._current().merge(other)
+        return self

@@ -67,3 +67,64 @@ class TestSnapshotAndDiff:
         meter.reset()
         assert meter.total_units == 0.0
         assert meter.rows_emitted == 0
+
+
+class TestThreadScopedMeter:
+    def test_delegates_to_base_outside_scope(self):
+        from repro.storage.counters import ThreadScopedMeter
+
+        base = WorkMeter()
+        scoped = ThreadScopedMeter(base)
+        scoped.charge_row_fetch(3)
+        assert base.row_fetches == 3
+        assert scoped.total_units == base.total_units
+
+    def test_scoped_isolates_and_merges(self):
+        from repro.storage.counters import ThreadScopedMeter
+
+        base = WorkMeter()
+        scoped = ThreadScopedMeter(base)
+        scoped.charge_row_fetch(1)  # outside: straight to base
+        with scoped.scoped() as local:
+            scoped.charge_row_fetch(5)
+            assert local.row_fetches == 5, "charges go to the local meter"
+            assert base.row_fetches == 1, "base untouched inside the scope"
+        assert base.row_fetches == 6, "local merges into base on exit"
+
+    def test_nested_scope_rejected(self):
+        import pytest
+
+        from repro.storage.counters import ThreadScopedMeter
+
+        scoped = ThreadScopedMeter(WorkMeter())
+        with scoped.scoped():
+            with pytest.raises(RuntimeError):
+                with scoped.scoped():
+                    pass
+
+    def test_concurrent_threads_measure_independent_work(self):
+        import threading
+
+        from repro.storage.counters import ThreadScopedMeter
+
+        base = WorkMeter()
+        scoped = ThreadScopedMeter(base)
+        barrier = threading.Barrier(4)
+        measured = {}
+
+        def worker(index):
+            barrier.wait()
+            with scoped.scoped() as local:
+                for _ in range(index + 1):
+                    scoped.charge_row_fetch(10)
+                measured[index] = local.row_fetches
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert measured == {0: 10, 1: 20, 2: 30, 3: 40}
+        assert base.row_fetches == 100, "every scope merged exactly once"

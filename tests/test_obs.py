@@ -9,6 +9,7 @@ from repro.core.events import EventKind
 from repro.obs.metrics import (
     MATCH_BUCKETS,
     Counter,
+    Histogram,
     MetricsRegistry,
     merge_counter,
 )
@@ -307,3 +308,42 @@ class TestExplainAnalyze:
         assert "max_rows=10000" in report
         assert "timeout=30000ms" in report
         assert "(not exceeded)" in report
+
+
+class TestHistogramQuantile:
+    def build(self, values=()):
+        histogram = Histogram("h", (10.0, 20.0, 50.0))
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_returns_none(self):
+        assert self.build().quantile(0.5) is None
+
+    def test_rejects_out_of_range_q(self):
+        histogram = self.build([5.0])
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all in (10, 20]: p50 lands mid-bucket.
+        histogram = self.build([15.0] * 10)
+        assert histogram.quantile(0.5) == pytest.approx(15.0)
+        assert histogram.quantile(1.0) == pytest.approx(20.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = self.build([5.0] * 4)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+
+    def test_infinity_bucket_clamps_to_highest_boundary(self):
+        histogram = self.build([999.0] * 3)
+        assert histogram.quantile(0.99) == pytest.approx(50.0)
+
+    def test_quantiles_are_monotone(self):
+        histogram = self.build([5.0, 15.0, 15.0, 30.0, 45.0, 60.0])
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p95 <= p99

@@ -1,0 +1,256 @@
+"""Regressions for limits under partitioned execution and pool cleanup.
+
+PR 6 contract (serving layer prerequisites):
+
+* deadline + cancellation budgets are enforced *partitioned* — the
+  coordinator checks them at every wave barrier and aborts with
+  partial-progress stats (row/work budgets still fall back to serial,
+  where per-row safe points live);
+* a query that raises mid-wave leaks nothing: ``Database.close()`` reaps
+  the forked workers deterministically, a garbage-collected Database
+  reaps them via the pool finalizer, and the database stays usable after
+  ``close()``;
+* ``CancellationToken.cancel`` is idempotent and thread-safe — exactly
+  one winner, whose reason every observer reads.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+from collections import Counter as MultiSet
+
+import pytest
+
+from repro import AdaptiveConfig, ReorderMode
+from repro.dmv import load_dmv
+from repro.errors import BudgetExceeded
+from repro.executor.parallel import WorkerPool, parallel_fallback_reason
+from repro.robustness.limits import CancellationToken, ExecutionLimits
+
+PARALLEL_SQL = (
+    "SELECT o.name, c.make FROM Demographics d, Owner o, Car c "
+    "WHERE d.ownerid = o.id AND c.ownerid = o.id AND d.salary > 20000"
+)
+
+
+@pytest.fixture(scope="module")
+def dmv():
+    db, _ = load_dmv(scale=0.02)
+    yield db
+    db.close()
+
+
+def pool_processes(db) -> list:
+    pool = getattr(db, "_parallel_pool", None)
+    assert pool is not None, "expected a parallel pool to exist"
+    return list(pool.pool._pool)
+
+
+def wait_until_dead(processes, timeout: float = 10.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if not any(p.is_alive() for p in processes):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Wave-barrier enforcement
+# ---------------------------------------------------------------------------
+class TestParallelLimitEnforcement:
+    def test_deadline_and_cancellation_do_not_force_serial(self, dmv):
+        plan = dmv.plan(PARALLEL_SQL)
+        config = AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        limits = ExecutionLimits(
+            timeout_seconds=30.0, cancellation=CancellationToken()
+        )
+        assert parallel_fallback_reason(plan, config, limits=limits) is None
+
+    @pytest.mark.parametrize(
+        "limits",
+        [
+            ExecutionLimits(max_rows=10),
+            ExecutionLimits(max_work_units=1e6),
+        ],
+        ids=["rows", "work"],
+    )
+    def test_row_and_work_budgets_fall_back_to_serial(self, dmv, limits):
+        plan = dmv.plan(PARALLEL_SQL)
+        config = AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        reason = parallel_fallback_reason(plan, config, limits=limits)
+        assert reason == "row/work budgets are enforced per-process"
+        # And the fallback is transparent: the query still completes, with
+        # the budget honoured per-row.
+        with pytest.raises(BudgetExceeded):
+            dmv.execute(
+                PARALLEL_SQL, config, limits=ExecutionLimits(max_rows=1)
+            )
+
+    def test_parallel_with_generous_deadline_matches_serial(self, dmv):
+        serial = dmv.execute(PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH))
+        limits = ExecutionLimits(
+            timeout_seconds=60.0, cancellation=CancellationToken()
+        )
+        parallel = dmv.execute(
+            PARALLEL_SQL,
+            AdaptiveConfig(mode=ReorderMode.BOTH, workers=2),
+            limits=limits,
+        )
+        assert MultiSet(parallel.rows) == MultiSet(serial.rows)
+        assert parallel.stats.workers == 2
+
+    def test_pre_cancelled_token_aborts_at_first_barrier(self, dmv):
+        token = CancellationToken()
+        token.cancel("client went away")
+        limits = ExecutionLimits(timeout_seconds=60.0, cancellation=token)
+        with pytest.raises(BudgetExceeded) as info:
+            dmv.execute(
+                PARALLEL_SQL,
+                AdaptiveConfig(mode=ReorderMode.BOTH, workers=2),
+                limits=limits,
+            )
+        assert "client went away" in str(info.value)
+        assert info.value.rows_emitted == 0
+
+    def test_cancellation_between_waves_reports_partial_progress(
+        self, dmv, monkeypatch
+    ):
+        """Cancel after the first wave returns: the next barrier aborts."""
+        token = CancellationToken()
+        original_run = WorkerPool.run
+        waves = []
+
+        def run_then_cancel(self, tasks):
+            results = original_run(self, tasks)
+            waves.append(len(tasks))
+            if len(waves) == 1:
+                token.cancel("mid-query disconnect")
+            return results
+
+        monkeypatch.setattr(WorkerPool, "run", run_then_cancel)
+        limits = ExecutionLimits(timeout_seconds=60.0, cancellation=token)
+        with pytest.raises(BudgetExceeded) as info:
+            dmv.execute(
+                PARALLEL_SQL,
+                AdaptiveConfig(mode=ReorderMode.BOTH, workers=2),
+                limits=limits,
+            )
+        error = info.value
+        assert "mid-query disconnect" in str(error)
+        # Exactly the first wave's progress was merged before the abort.
+        assert len(waves) == 1
+        assert error.driving_rows > 0
+        assert error.work_units > 0
+        assert error.elapsed_seconds > 0
+        # The pool survives an aborted query and serves the next one.
+        result = dmv.execute(
+            PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        )
+        assert result.rows
+
+    def test_tiny_deadline_aborts_partitioned_run(self, dmv):
+        limits = ExecutionLimits(timeout_seconds=1e-4)
+        with pytest.raises(BudgetExceeded) as info:
+            dmv.execute(
+                PARALLEL_SQL,
+                AdaptiveConfig(mode=ReorderMode.BOTH, workers=2),
+                limits=limits,
+            )
+        assert "deadline" in str(info.value)
+
+
+# ---------------------------------------------------------------------------
+# Pool cleanup: no leaked children
+# ---------------------------------------------------------------------------
+class TestPoolCleanup:
+    def test_close_reaps_children_after_mid_wave_abort(self):
+        db, _ = load_dmv(scale=0.02)
+        token = CancellationToken()
+        token.cancel("abort")
+        with pytest.raises(BudgetExceeded):
+            db.execute(
+                PARALLEL_SQL,
+                AdaptiveConfig(mode=ReorderMode.BOTH, workers=2),
+                limits=ExecutionLimits(
+                    timeout_seconds=60.0, cancellation=token
+                ),
+            )
+        processes = pool_processes(db)
+        assert processes and any(p.is_alive() for p in processes)
+        db.close()
+        assert wait_until_dead(processes), "close() must reap forked workers"
+        assert getattr(db, "_parallel_pool", None) is None
+
+    def test_close_is_idempotent_and_db_stays_usable(self):
+        db, _ = load_dmv(scale=0.02)
+        first = db.execute(
+            PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        )
+        db.close()
+        db.close()  # idempotent
+        # The pool is rebuilt on demand after close.
+        again = db.execute(
+            PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        )
+        assert MultiSet(again.rows) == MultiSet(first.rows)
+        db.close()
+
+    def test_context_manager_closes(self):
+        db, _ = load_dmv(scale=0.02)
+        with db:
+            db.execute(
+                PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+            )
+            processes = pool_processes(db)
+        assert wait_until_dead(processes)
+
+    def test_abandoned_database_is_reaped_by_gc(self):
+        db, _ = load_dmv(scale=0.02)
+        db.execute(
+            PARALLEL_SQL, AdaptiveConfig(mode=ReorderMode.BOTH, workers=2)
+        )
+        processes = pool_processes(db)
+        assert any(p.is_alive() for p in processes)
+        del db
+        gc.collect()
+        assert wait_until_dead(processes), (
+            "the pool finalizer must reap workers of an abandoned Database"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CancellationToken thread-safety
+# ---------------------------------------------------------------------------
+class TestTokenThreadSafety:
+    def test_exactly_one_winner_under_contention(self):
+        for _ in range(20):
+            token = CancellationToken()
+            barrier = threading.Barrier(8)
+            wins = []
+
+            def racer(i):
+                barrier.wait()
+                if token.cancel(f"racer-{i}"):
+                    wins.append(i)
+
+            threads = [
+                threading.Thread(target=racer, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert len(wins) == 1, "exactly one cancel() call may win"
+            assert token.reason == f"racer-{wins[0]}"
+            assert token.cancelled
+
+    def test_idempotent_and_losers_keep_winning_reason(self):
+        token = CancellationToken()
+        assert token.cancel("first") is True
+        assert token.cancel("second") is False
+        assert token.reason == "first"
+        assert token.cancel() is False
+        assert token.reason == "first"

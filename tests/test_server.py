@@ -1,0 +1,803 @@
+"""Unit and integration tests for the concurrent query server.
+
+Unit layers (protocol, token bucket, plan cache, admission, scheduler)
+are tested directly; server integration tests run a real asyncio server
+over an injectable fake engine whose executions block on an event, so
+overload, disconnection-cancellation, draining, and shed levels are all
+exercised deterministically — no timing-dependent assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.config import ReorderMode
+from repro.errors import BudgetExceeded, QueryError
+from repro.server import (
+    AdmissionController,
+    ErrorCode,
+    FairScheduler,
+    PlanCache,
+    ProtocolError,
+    ServerConfig,
+    Session,
+    TokenBucket,
+    decode_request,
+    normalize_sql,
+    template_signature,
+)
+from repro.server.admission import SHED_NONE, SHED_SERIAL, SHED_STATIC
+from repro.server.plancache import HIT, MISS, WAIT
+from repro.server.protocol import (
+    encode_response,
+    error_response,
+    ok_response,
+    parse_query_request,
+)
+from repro.server.server import EngineResult, QueryServer
+from repro.server.session import PendingQuery
+from repro.robustness.limits import CancellationToken
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_decode_valid_query(self):
+        msg = decode_request(b'{"op": "query", "sql": "SELECT 1", "id": 3}')
+        assert msg["op"] == "query"
+        request = parse_query_request(msg)
+        assert request.sql == "SELECT 1"
+        assert request.request_id == 3
+        assert request.mode is ReorderMode.BOTH
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"[1, 2]",
+            b'"just a string"',
+            b'{"sql": "SELECT 1"}',  # missing op
+            b'{"op": ""}',
+            b"\xff\xfe",  # not UTF-8
+        ],
+    )
+    def test_decode_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            {"op": "query"},  # no sql
+            {"op": "query", "sql": "  "},
+            {"op": "query", "sql": "SELECT 1", "mode": "sideways"},
+            {"op": "query", "sql": "SELECT 1", "timeout_ms": -5},
+            {"op": "query", "sql": "SELECT 1", "timeout_ms": "soon"},
+            {"op": "query", "sql": "SELECT 1", "max_rows": 0},
+            {"op": "query", "sql": "SELECT 1", "max_rows": True},
+            {"op": "query", "sql": "SELECT 1", "workers": 0},
+        ],
+    )
+    def test_parse_rejects_bad_fields(self, msg):
+        with pytest.raises(ProtocolError):
+            parse_query_request(msg)
+
+    def test_responses_round_trip_as_json_lines(self):
+        ok = ok_response(7, [(1, "a")], {"work_units": 2.0})
+        err = error_response(8, ErrorCode.RATE_LIMITED, "slow down")
+        for payload in (ok, err):
+            line = encode_response(payload)
+            assert line.endswith(b"\n")
+            assert json.loads(line) == json.loads(json.dumps(payload))
+        assert ok["row_count"] == 1 and ok["rows"] == [[1, "a"]]
+        assert err["code"] == "RATE_LIMITED"
+
+    def test_normalize_collapses_whitespace_outside_literals(self):
+        a = "SELECT *  FROM Car c\n WHERE c.make =  'a  b'"
+        b = "SELECT * FROM Car c WHERE c.make = 'a  b'"
+        assert normalize_sql(a) == normalize_sql(b)
+        # Literals are preserved — different constants, different keys.
+        assert normalize_sql("... make = 'Mazda'") != normalize_sql(
+            "... make = 'Honda'"
+        )
+
+    def test_template_signature_strips_literals_and_numbers(self):
+        sig = template_signature(
+            "SELECT * FROM Car c WHERE c.make = 'Mazda' AND c.year > 1999"
+        )
+        assert "'Mazda'" not in sig and "1999" not in sig
+        assert sig == template_signature(
+            "SELECT *   FROM Car c WHERE c.make = 'Honda' AND c.year > 2004"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Token bucket
+# ---------------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: now[0])
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        now[0] += 0.5  # one token refilled at 2/s
+        assert bucket.try_take() is True
+        assert bucket.try_take() is False
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=lambda: now[0])
+        now[0] += 60.0
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+    def test_zero_rate_disables(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        assert all(bucket.try_take() for _ in range(100))
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+class TestPlanCache:
+    def test_hit_miss_and_generation_invalidation(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+
+        def planner(sql):
+            calls.append(sql)
+            return ("plan", sql)
+
+        plan, outcome = cache.get_or_plan("SELECT  1", ("g1",), planner)
+        assert outcome == MISS and plan == ("plan", "SELECT  1")
+        # Whitespace-normalized key: same statement, different spacing.
+        plan2, outcome2 = cache.get_or_plan("SELECT 1", ("g1",), planner)
+        assert outcome2 == HIT and plan2 == plan and len(calls) == 1
+        # Catalog generation changed: entry invalidated, replanned.
+        _, outcome3 = cache.get_or_plan("SELECT 1", ("g2",), planner)
+        assert outcome3 == MISS and len(calls) == 2
+        assert cache.stats()["invalidations"] == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        planner = lambda sql: sql
+        cache.get_or_plan("a", ("g",), planner)
+        cache.get_or_plan("b", ("g",), planner)
+        cache.get_or_plan("a", ("g",), planner)  # refresh a
+        cache.get_or_plan("c", ("g",), planner)  # evicts b
+        assert cache.get_or_plan("a", ("g",), planner)[1] == HIT
+        assert cache.get_or_plan("b", ("g",), planner)[1] == MISS
+        assert cache.stats()["evictions"] >= 1
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0)
+        calls = []
+        planner = lambda sql: calls.append(sql) or sql
+        assert cache.get_or_plan("a", ("g",), planner)[1] == MISS
+        assert cache.get_or_plan("a", ("g",), planner)[1] == MISS
+        assert len(calls) == 2
+
+    def test_single_flight_one_planner_call_for_concurrent_misses(self):
+        cache = PlanCache(capacity=8)
+        release = threading.Event()
+        calls = []
+
+        def slow_planner(sql):
+            calls.append(sql)
+            assert release.wait(5.0)
+            return ("plan", sql)
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_plan("q", ("g",), slow_planner)
+                )
+            )
+            for _ in range(5)
+        ]
+        for t in threads:
+            t.start()
+        # Give every thread time to reach leader/waiter selection.
+        deadline = time.time() + 5.0
+        while len(calls) == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(calls) == 1, "planner must run once for the stampede"
+        assert len(results) == 5
+        assert all(plan == ("plan", "q") for plan, _ in results)
+        outcomes = sorted(outcome for _, outcome in results)
+        assert outcomes.count(MISS) == 1 and outcomes.count(WAIT) == 4
+
+    def test_failed_leader_promotes_a_waiter(self):
+        cache = PlanCache(capacity=8)
+        attempts = []
+        barrier = threading.Barrier(2, timeout=5.0)
+
+        def flaky_planner(sql):
+            attempts.append(sql)
+            if len(attempts) == 1:
+                barrier.wait()  # ensure the waiter queued behind us
+                raise QueryError("transient planner failure")
+            return "good plan"
+
+        results, errors = [], []
+
+        def leader():
+            try:
+                results.append(cache.get_or_plan("q", ("g",), flaky_planner))
+            except QueryError as error:
+                errors.append(error)
+
+        def waiter():
+            barrier.wait()
+            results.append(cache.get_or_plan("q", ("g",), flaky_planner))
+
+        threads = [threading.Thread(target=leader), threading.Thread(target=waiter)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(errors) == 1, "the failing leader sees its own error"
+        assert results == [("good plan", MISS)], "the waiter retried as leader"
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+def make_session(**bucket_kwargs) -> Session:
+    bucket = TokenBucket(**bucket_kwargs) if bucket_kwargs else TokenBucket(0, 8)
+    return Session(peer="test", bucket=bucket)
+
+
+class TestAdmission:
+    def test_admits_until_global_queue_full(self):
+        config = ServerConfig(max_queue_depth=2, max_queue_per_session=8)
+        admission = AdmissionController(config)
+        session = make_session()
+        assert admission.submit(session).admitted
+        assert admission.submit(session).admitted
+        decision = admission.submit(session)
+        assert not decision.admitted
+        assert decision.reject_code == ErrorCode.REJECTED_OVERLOAD
+        admission.on_dequeued()
+        assert admission.submit(session).admitted
+
+    def test_per_session_cap(self):
+        config = ServerConfig(max_queue_depth=32, max_queue_per_session=1)
+        admission = AdmissionController(config)
+        session = make_session()
+        assert admission.submit(session).admitted
+        session.queue.append(object())  # scheduler would do this
+        decision = admission.submit(session)
+        assert not decision.admitted
+        assert decision.reject_code == ErrorCode.REJECTED_OVERLOAD
+        # Another session is unaffected.
+        assert admission.submit(make_session()).admitted
+
+    def test_rate_limit_rejection(self):
+        now = [0.0]
+        config = ServerConfig(rate_limit_qps=1.0, rate_limit_burst=1.0)
+        admission = AdmissionController(config)
+        session = Session(
+            peer="t", bucket=TokenBucket(1.0, 1.0, clock=lambda: now[0])
+        )
+        assert admission.submit(session).admitted
+        decision = admission.submit(session)
+        assert decision.reject_code == ErrorCode.RATE_LIMITED
+        now[0] += 1.0
+        assert admission.submit(session).admitted
+
+    def test_draining_rejects_everything(self):
+        admission = AdmissionController(ServerConfig())
+        admission.draining = True
+        decision = admission.submit(make_session())
+        assert decision.reject_code == ErrorCode.SHUTTING_DOWN
+
+    def test_shed_ladder_from_queue_pressure(self):
+        config = ServerConfig(
+            max_queue_depth=10, shed_serial_at=0.3, shed_static_at=0.6
+        )
+        admission = AdmissionController(config)
+        assert admission.shed_level() == SHED_NONE
+        admission.queued = 3
+        assert admission.shed_level() == SHED_SERIAL
+        admission.queued = 6
+        assert admission.shed_level() == SHED_STATIC
+
+    def test_apply_shed_strips_parallelism_then_adaptivity(self):
+        config = ServerConfig(engine_workers=4, engine_batch_size=128)
+        admission = AdmissionController(config)
+        request = parse_query_request(
+            {"op": "query", "sql": "SELECT 1", "mode": "both", "workers": 4}
+        )
+        full = admission.apply_shed(request, SHED_NONE)
+        assert full.mode is ReorderMode.BOTH and full.workers == 4
+        assert full.batched and full.batch_size == 128
+        assert full.monitor_granularity == "chunk"
+        serial = admission.apply_shed(request, SHED_SERIAL)
+        assert serial.mode is ReorderMode.BOTH and serial.workers == 1
+        static = admission.apply_shed(request, SHED_STATIC)
+        assert static.mode is ReorderMode.NONE and static.workers == 1
+        assert static.monitor_granularity == "exact"
+        assert admission.shed_totals == {SHED_SERIAL: 1, SHED_STATIC: 1}
+
+    def test_workers_clamped_to_server_grant(self):
+        admission = AdmissionController(ServerConfig(engine_workers=2))
+        request = parse_query_request(
+            {"op": "query", "sql": "SELECT 1", "workers": 8}
+        )
+        assert admission.apply_shed(request, SHED_NONE).workers == 2
+
+    def test_build_limits_clamps_to_server_maxima(self):
+        config = ServerConfig(
+            default_timeout_ms=1000.0,
+            max_timeout_ms=2000.0,
+            default_max_rows=10,
+            max_max_rows=20,
+        )
+        admission = AdmissionController(config)
+        request = parse_query_request(
+            {
+                "op": "query",
+                "sql": "SELECT 1",
+                "timeout_ms": 99_999,
+                "max_rows": 999,
+            }
+        )
+        applied = admission.apply_shed(request, SHED_NONE)
+        limits, token = admission.build_limits(request, applied)
+        assert limits.timeout_seconds == pytest.approx(2.0)
+        assert limits.max_rows == 20
+        assert limits.cancellation is token and not token.cancelled
+        # Defaults apply when the client asks for nothing.
+        bare = parse_query_request({"op": "query", "sql": "SELECT 1"})
+        limits, _ = admission.build_limits(
+            bare, admission.apply_shed(bare, SHED_NONE)
+        )
+        assert limits.timeout_seconds == pytest.approx(1.0)
+        assert limits.max_rows == 10
+
+    def test_build_limits_reuses_admission_token(self):
+        admission = AdmissionController(ServerConfig())
+        request = parse_query_request({"op": "query", "sql": "SELECT 1"})
+        token = CancellationToken()
+        limits, returned = admission.build_limits(
+            request, admission.apply_shed(request, SHED_NONE), token=token
+        )
+        assert returned is token and limits.cancellation is token
+
+    def test_parallel_grant_drops_row_budget_keeps_deadline(self):
+        admission = AdmissionController(ServerConfig(engine_workers=4))
+        request = parse_query_request(
+            {"op": "query", "sql": "SELECT 1", "workers": 4, "max_rows": 5}
+        )
+        applied = admission.apply_shed(request, SHED_NONE)
+        assert applied.workers == 4
+        limits, _ = admission.build_limits(request, applied)
+        assert limits.max_rows is None and limits.max_work_units is None
+        assert limits.timeout_seconds is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_concurrency=0)
+        with pytest.raises(ValueError):
+            ServerConfig(shed_serial_at=0.8, shed_static_at=0.2)
+        with pytest.raises(ValueError):
+            ServerConfig(default_timeout_ms=90_000.0, max_timeout_ms=60_000.0)
+
+
+# ---------------------------------------------------------------------------
+# Fair scheduler
+# ---------------------------------------------------------------------------
+def pending_for(session: Session, tag: str) -> PendingQuery:
+    request = parse_query_request({"op": "query", "sql": f"SELECT '{tag}'"})
+    return PendingQuery(
+        request=request,
+        session=session,
+        token=CancellationToken(),
+        enqueued_at=0.0,
+    )
+
+
+class TestFairScheduler:
+    def test_round_robin_across_sessions(self):
+        async def scenario():
+            scheduler = FairScheduler()
+            chatty, quiet = make_session(), make_session()
+            for i in range(3):
+                await scheduler.enqueue(pending_for(chatty, f"c{i}"))
+            await scheduler.enqueue(pending_for(quiet, "q0"))
+            order = [(await scheduler.next()).request.sql for _ in range(4)]
+            return order
+
+        order = asyncio.run(scenario())
+        # The quiet session's single query is served second, not fourth.
+        assert order == [
+            "SELECT 'c0'", "SELECT 'q0'", "SELECT 'c1'", "SELECT 'c2'",
+        ]
+
+    def test_skips_disconnected_sessions(self):
+        async def scenario():
+            scheduler = FairScheduler()
+            gone, alive = make_session(), make_session()
+            await scheduler.enqueue(pending_for(gone, "dead"))
+            await scheduler.enqueue(pending_for(alive, "live"))
+            gone.disconnect()
+            first = await scheduler.next()
+            await scheduler.stop()
+            rest = await scheduler.next()
+            return first, rest
+
+        first, rest = asyncio.run(scenario())
+        assert first.request.sql == "SELECT 'live'"
+        assert rest is None
+
+    def test_next_blocks_until_work_arrives(self):
+        async def scenario():
+            scheduler = FairScheduler()
+            session = make_session()
+
+            async def feeder():
+                await asyncio.sleep(0.01)
+                await scheduler.enqueue(pending_for(session, "late"))
+
+            feed = asyncio.create_task(feeder())
+            pending = await asyncio.wait_for(scheduler.next(), timeout=2.0)
+            await feed
+            return pending.request.sql
+
+        assert asyncio.run(scenario()) == "SELECT 'late'"
+
+    def test_remove_session_drops_queued_work(self):
+        async def scenario():
+            scheduler = FairScheduler()
+            session = make_session()
+            await scheduler.enqueue(pending_for(session, "a"))
+            await scheduler.enqueue(pending_for(session, "b"))
+            dropped = await scheduler.remove_session(session)
+            await scheduler.stop()
+            return dropped, await scheduler.next()
+
+        dropped, leftover = asyncio.run(scenario())
+        assert dropped == 2 and leftover is None
+
+
+# ---------------------------------------------------------------------------
+# Server integration over a controllable fake engine
+# ---------------------------------------------------------------------------
+class BlockingEngine:
+    """Engine double: every execution blocks until released.
+
+    ``execute`` polls its release event so a cancelled token aborts the
+    "query" just like the real executor's safe-point checks do.
+    """
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started = threading.Semaphore(0)
+        self.calls: list = []
+
+    def execute(self, sql, config, limits):
+        self.calls.append((sql, config, limits))
+        self.started.release()
+        token = limits.cancellation
+        while not self.release.wait(timeout=0.005):
+            if token is not None and token.cancelled:
+                raise BudgetExceeded(
+                    f"query cancelled: {token.reason}",
+                    rows_emitted=1,
+                    work_units=2.0,
+                    elapsed_seconds=0.01,
+                    driving_rows=3,
+                )
+        if sql == "SELECT 'boom'":
+            raise QueryError("synthetic failure")
+        return EngineResult(
+            rows=[(sql,)],
+            work_units=1.0,
+            wall_ms=0.5,
+            switches=0,
+            degraded=False,
+            workers=config.workers,
+            plan_cache="off",
+        )
+
+
+class ServerClient:
+    """Minimal NDJSON test client."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port: int) -> "ServerClient":
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def send(self, **payload) -> None:
+        self.writer.write((json.dumps(payload) + "\n").encode())
+        await self.writer.drain()
+
+    async def recv(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10.0)
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def run_server_scenario(config: ServerConfig, scenario):
+    """Start a QueryServer over a BlockingEngine and run *scenario*."""
+    engine = BlockingEngine()
+
+    async def main():
+        server = QueryServer(None, config, engine=engine)
+        await server.start()
+        try:
+            return await asyncio.wait_for(
+                scenario(server, engine), timeout=30.0
+            )
+        finally:
+            engine.release.set()
+            await server.shutdown(grace=0.2)
+
+    return asyncio.run(main())
+
+
+def tiny_config(**overrides) -> ServerConfig:
+    defaults = dict(port=0, max_concurrency=1, max_queue_depth=2)
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class TestServerIntegration:
+    def test_ping_stats_and_unknown_op(self):
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            await client.send(op="ping", id=1)
+            pong = await client.recv()
+            await client.send(op="stats", id=2)
+            stats = await client.recv()
+            await client.send(op="mystery", id=3)
+            unknown = await client.recv()
+            await client.close()
+            return pong, stats, unknown
+
+        pong, stats, unknown = run_server_scenario(tiny_config(), scenario)
+        assert pong == {"id": 1, "status": "ok", "pong": True}
+        assert stats["status"] == "ok"
+        assert stats["stats"]["admission"]["max_concurrency"] == 1
+        assert unknown["code"] == ErrorCode.BAD_REQUEST
+
+    def test_overload_rejected_explicitly_and_promptly(self):
+        """Queue full → REJECTED_OVERLOAD arrives while a query still runs."""
+
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            # One executing + two queued fills the server entirely. Wait
+            # for execution to start before filling the queue, so the
+            # queue slots are definitely free for ids 1 and 2.
+            await client.send(op="query", id=0, sql="SELECT 0")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            for i in (1, 2):
+                await client.send(op="query", id=i, sql=f"SELECT {i}")
+            await client.send(op="query", id=99, sql="SELECT 99")
+            rejection = await client.recv()  # answered while id 0 blocks
+            engine.release.set()
+            answered = sorted([(await client.recv())["id"] for _ in range(3)])
+            await client.close()
+            return rejection, answered
+
+        rejection, answered = run_server_scenario(tiny_config(), scenario)
+        assert rejection["id"] == 99
+        assert rejection["status"] == "error"
+        assert rejection["code"] == ErrorCode.REJECTED_OVERLOAD
+        assert answered == [0, 1, 2]
+
+    def test_disconnect_cancels_in_flight_and_drops_queued(self):
+        async def scenario(server, engine):
+            victim = await ServerClient.connect(server.port)
+            await victim.send(op="query", id=1, sql="SELECT 'blocked'")
+            await victim.send(op="query", id=2, sql="SELECT 'queued'")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            session = next(iter(server.sessions.values()))
+            tokens = list(session.in_flight)
+            await victim.close()  # disconnect while id=1 executes
+            # The in-flight token must latch without the engine finishing.
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while not tokens[0].cancelled:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.005)
+            # The worker slot must come back for other clients.
+            other = await ServerClient.connect(server.port)
+            await other.send(op="query", id=3, sql="SELECT 'after'")
+            engine.release.set()
+            response = await other.recv()
+            await other.send(op="stats", id=4)
+            stats = (await other.recv())["stats"]
+            await other.close()
+            return tokens[0], response, stats
+
+        token, response, stats = run_server_scenario(tiny_config(), scenario)
+        assert token.cancelled and "disconnected" in token.reason
+        assert response == {
+            "id": 3, "status": "ok", "rows": [["SELECT 'after'"]],
+            "row_count": 1, "stats": response["stats"],
+        }
+        assert stats["queries"]["cancelled_total"] == 1
+        assert stats["queries"]["dropped_on_disconnect_total"] == 1
+
+    def test_rate_limited_session_gets_typed_rejection(self):
+        config = tiny_config(rate_limit_qps=0.001, rate_limit_burst=1.0)
+
+        async def scenario(server, engine):
+            engine.release.set()
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'a'")
+            first = await client.recv()
+            await client.send(op="query", id=2, sql="SELECT 'b'")
+            second = await client.recv()
+            await client.close()
+            return first, second
+
+        first, second = run_server_scenario(config, scenario)
+        assert first["status"] == "ok"
+        assert second["status"] == "error"
+        assert second["code"] == ErrorCode.RATE_LIMITED
+
+    def test_shed_levels_applied_from_queue_pressure(self):
+        config = tiny_config(
+            max_queue_depth=4,
+            max_queue_per_session=4,
+            shed_serial_at=0.25,
+            shed_static_at=0.5,
+            engine_workers=2,
+        )
+
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            for i in range(4):
+                await client.send(
+                    op="query", id=i, sql=f"SELECT {i}", workers=2
+                )
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            engine.release.set()
+            responses = {}
+            for _ in range(4):
+                response = await client.recv()
+                responses[response["id"]] = response
+            await client.close()
+            return responses
+
+        responses = run_server_scenario(config, scenario)
+        sheds = [responses[i]["stats"]["shed"] for i in range(4)]
+        modes = [responses[i]["stats"]["mode"] for i in range(4)]
+        # Later dequeues saw higher pressure: the ladder must have engaged
+        # at least once, and static shed forces the static plan.
+        assert SHED_STATIC in sheds
+        for shed, mode in zip(sheds, modes):
+            if shed == SHED_STATIC:
+                assert mode == "none"
+
+    def test_engine_errors_map_to_typed_responses(self):
+        async def scenario(server, engine):
+            engine.release.set()
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'boom'")
+            sql_error = await client.recv()
+            await client.send(op="query", id=2, sql="SELECT 'fine'")
+            fine = await client.recv()
+            await client.close()
+            return sql_error, fine
+
+        sql_error, fine = run_server_scenario(tiny_config(), scenario)
+        assert sql_error["code"] == ErrorCode.SQL_ERROR
+        assert "synthetic failure" in sql_error["error"]
+        assert fine["status"] == "ok", "the slot survives an engine error"
+
+    def test_budget_exceeded_carries_partial_progress(self):
+        config = tiny_config(default_timeout_ms=50.0)
+
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'slow'")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            # Cancel via the session token — same path a deadline takes.
+            session = next(iter(server.sessions.values()))
+            for token in session.in_flight:
+                token.cancel("test deadline")
+            response = await client.recv()
+            await client.close()
+            return response
+
+        response = run_server_scenario(config, scenario)
+        assert response["status"] == "error"
+        assert response["code"] == ErrorCode.CANCELLED
+        assert response["progress"]["rows_emitted"] == 1
+        assert response["progress"]["driving_rows"] == 3
+
+    def test_drain_rejects_new_work_and_exits_cleanly(self):
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'running'")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            drain = asyncio.create_task(server.shutdown(grace=5.0))
+            # Draining state is set synchronously at shutdown start.
+            await asyncio.sleep(0.05)
+            await client.send(op="query", id=2, sql="SELECT 'late'")
+            rejected = await client.recv()
+            engine.release.set()
+            finished = await client.recv()
+            await drain
+            await client.close()
+            return rejected, finished, server.exit_code
+
+        rejected, finished, exit_code = run_server_scenario(
+            tiny_config(), scenario
+        )
+        assert rejected["code"] == ErrorCode.SHUTTING_DOWN
+        assert finished == {
+            "id": 1, "status": "ok", "rows": [["SELECT 'running'"]],
+            "row_count": 1, "stats": finished["stats"],
+        }
+        assert exit_code == 0
+
+    def test_drain_cancels_stragglers_after_grace(self):
+        async def scenario(server, engine):
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'stuck'")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            await server.shutdown(grace=0.05)  # never released: must cancel
+            response = await client.recv()
+            await client.close()
+            return response
+
+        response = run_server_scenario(tiny_config(), scenario)
+        assert response["status"] == "error"
+        assert response["code"] == ErrorCode.CANCELLED
+
+    def test_stats_document_validates(self):
+        """The live stats document passes the CI validator's schema."""
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_stats",
+            pathlib.Path(__file__).resolve().parent.parent
+            / "scripts" / "validate_stats.py",
+        )
+        validator = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(validator)
+
+        async def scenario(server, engine):
+            engine.release.set()
+            client = await ServerClient.connect(server.port)
+            for i in range(5):
+                await client.send(op="query", id=i, sql=f"SELECT {i}")
+            for _ in range(5):
+                await client.recv()
+            await client.send(op="stats", id=99)
+            stats = (await client.recv())["stats"]
+            await client.close()
+            return stats
+
+        stats = run_server_scenario(
+            tiny_config(max_queue_depth=8, max_queue_per_session=8), scenario
+        )
+        notes = validator.validate(stats)  # raises on violation
+        assert any("5 queries" in note for note in notes)
