@@ -17,11 +17,11 @@ results — and only rejects once the bounded queue is actually full.
 
 State machine per query::
 
-    submit ──rate bucket empty──────────────▶ RATE_LIMITED
-       │
-       ├─draining───────────────────────────▶ SHUTTING_DOWN
+    submit ──draining───────────────────────▶ SHUTTING_DOWN
        │
        ├─queue full (global or session)─────▶ REJECTED_OVERLOAD
+       │
+       ├─rate bucket empty──────────────────▶ RATE_LIMITED
        │
        ▼
     QUEUED ──scheduler round-robin──▶ RUNNING(shed level from pressure)
@@ -145,16 +145,9 @@ class AdmissionController:
                 ErrorCode.SHUTTING_DOWN,
                 "server is draining; no new queries accepted",
             )
-        if not session.bucket.try_take():
-            self.rejected_rate_limit_total += 1
-            session.rejected += 1
-            return AdmissionDecision(
-                False,
-                ErrorCode.RATE_LIMITED,
-                f"rate limit exceeded "
-                f"({self.config.rate_limit_qps:g} queries/s, "
-                f"burst {self.config.rate_limit_burst:g})",
-            )
+        # Queue-capacity checks run before the rate bucket so an overload
+        # rejection never also burns a token — otherwise retrying clients
+        # would be double-penalized exactly when backoff is wanted.
         if self.queued >= self.config.max_queue_depth:
             self.rejected_overload_total += 1
             session.rejected += 1
@@ -171,6 +164,16 @@ class AdmissionController:
                 ErrorCode.REJECTED_OVERLOAD,
                 f"session queue full "
                 f"({len(session.queue)} queued by {session.name})",
+            )
+        if not session.bucket.try_take():
+            self.rejected_rate_limit_total += 1
+            session.rejected += 1
+            return AdmissionDecision(
+                False,
+                ErrorCode.RATE_LIMITED,
+                f"rate limit exceeded "
+                f"({self.config.rate_limit_qps:g} queries/s, "
+                f"burst {self.config.rate_limit_burst:g})",
             )
         self.accepted_total += 1
         self.queued += 1

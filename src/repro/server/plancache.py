@@ -37,12 +37,15 @@ WAIT = "wait"  # blocked on another thread's in-flight planning, then hit
 class _InFlight:
     """Leader/waiter rendezvous for one key being planned."""
 
-    __slots__ = ("event", "plan", "error")
+    __slots__ = ("event", "plan", "error", "generation")
 
-    def __init__(self) -> None:
+    def __init__(self, generation: tuple) -> None:
         self.event = threading.Event()
         self.plan: Any = None
         self.error: BaseException | None = None
+        # The catalog generation the leader plans under; waiters admitted
+        # under a different generation must not reuse the leader's plan.
+        self.generation = generation
 
 
 class PlanCache:
@@ -98,7 +101,7 @@ class PlanCache:
                     self.invalidations += 1
                 flight = self._in_flight.get(key)
                 if flight is None:
-                    flight = _InFlight()
+                    flight = _InFlight(generation)
                     self._in_flight[key] = flight
                     leader = True
                 else:
@@ -121,11 +124,17 @@ class PlanCache:
                     flight.event.set()
                 return plan, MISS
             flight.event.wait()
-            if flight.error is None and flight.plan is not None:
+            if (
+                flight.error is None
+                and flight.plan is not None
+                and flight.generation == generation
+            ):
                 with self._lock:
                     self.waits += 1
                 return flight.plan, WAIT
-            # Leader failed — loop around and retry as a new leader.
+            # Leader failed, or planned under a different catalog
+            # generation than ours — loop around and retry as a new
+            # leader (the locked lookup re-validates the cached entry).
 
     def _evict_over_capacity(self) -> None:
         while len(self._entries) > self.capacity:

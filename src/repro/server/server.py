@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import signal
 import threading
 import time
@@ -69,6 +70,8 @@ from repro.server.protocol import (
 )
 from repro.server.scheduler import FairScheduler
 from repro.server.session import PendingQuery, Session, TokenBucket
+
+logger = logging.getLogger(__name__)
 
 #: End-to-end latency buckets (ms), admission to response.
 LATENCY_BUCKETS_MS = (
@@ -238,7 +241,17 @@ class QueryServer:
             while self.admission.in_flight > 0 and loop.time() < cancel_deadline:
                 await asyncio.sleep(0.02)
         await self.scheduler.stop()
-        await asyncio.gather(*self._workers, return_exceptions=True)
+        # Bound the final drain by the grace window: a query sitting
+        # between cooperative safe points must not keep serve_forever
+        # alive until its own (up to 60s) timeout fires.
+        if self._workers:
+            _, stragglers = await asyncio.wait(
+                self._workers, timeout=max(grace, 1.0)
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
         for writer in list(self._writers.values()):
             with contextlib.suppress(Exception):
                 writer.close()
@@ -367,7 +380,30 @@ class QueryServer:
             session = pending.session
             if session.closed or pending.token.cancelled:
                 continue
-            await self._run_one(pending)
+            try:
+                await self._run_one(pending)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A fault outside _run_one's own try block (shed/limits
+                # computation, metrics, or sending the response) must not
+                # kill this query slot — that would silently shrink server
+                # concurrency and leave the client without a response.
+                logger.exception(
+                    "query slot fault while serving %s", session.name
+                )
+                self.metrics.counter("server_worker_faults_total").inc()
+                send = session.send
+                if send is not None:
+                    with contextlib.suppress(Exception):
+                        await send(
+                            error_response(
+                                pending.request.request_id,
+                                ErrorCode.INTERNAL,
+                                f"worker fault: "
+                                f"{type(error).__name__}: {error}",
+                            )
+                        )
 
     async def _run_one(self, pending: PendingQuery) -> None:
         session = pending.session

@@ -216,7 +216,16 @@ class ThreadScopedMeter:
 
     On scope exit the private meter folds into the base under a lock, so
     catalog-lifetime totals remain the sum of all work ever done.
+
+    Both reads (``__getattr__``) and stores (``__setattr__``) of counter
+    fields route to the thread's meter, so the batched executor's direct
+    ``meter.row_fetches += n`` charge style works identically to the
+    ``charge_*`` methods — a plain store can never land on the facade and
+    shadow the per-thread meters.
     """
+
+    #: Counter fields whose stores must route to the thread's meter.
+    _METER_FIELDS = frozenset(WorkMeter.__dataclass_fields__)
 
     def __init__(self, base: WorkMeter | None = None) -> None:
         self._base = base if base is not None else WorkMeter()
@@ -254,6 +263,14 @@ class ThreadScopedMeter:
         # Fields and bound methods (charge_*, snapshot, merge, totals) all
         # resolve against the thread's active meter.
         return getattr(self._current(), name)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Counter stores (`meter.row_fetches += n`) go to the thread's
+        # meter; everything else (facade internals) stays on the facade.
+        if name in self._METER_FIELDS:
+            setattr(self._current(), name, value)
+        else:
+            object.__setattr__(self, name, value)
 
     def __sub__(self, other: WorkMeter) -> WorkMeter:
         return self._current() - other

@@ -128,3 +128,62 @@ class TestThreadScopedMeter:
             t.join(timeout=10.0)
         assert measured == {0: 10, 1: 20, 2: 30, 3: 40}
         assert base.row_fetches == 100, "every scope merged exactly once"
+
+    def test_direct_stores_route_to_scoped_meter(self):
+        """`meter.field += n` (the batched executor's charge style) must
+        land on the thread's meter, never create attributes on the facade."""
+        from repro.storage.counters import ThreadScopedMeter
+
+        base = WorkMeter()
+        facade = ThreadScopedMeter(base)
+        facade.row_fetches += 2  # outside a scope: straight to base
+        assert base.row_fetches == 2
+        with facade.scoped() as local:
+            facade.index_descends += 5
+            facade.row_fetches += 3
+            assert local.index_descends == 5
+            assert local.row_fetches == 3
+            assert base.index_descends == 0, "base untouched inside scope"
+            assert base.row_fetches == 2
+        assert base.index_descends == 5, "direct stores merge on exit"
+        assert base.row_fetches == 5
+        assert "index_descends" not in vars(facade), (
+            "stores must not shadow the facade's __getattr__ routing"
+        )
+
+    def test_batched_execution_charges_scoped_meter(self):
+        """End-to-end: the batched executor path (direct `+=` charges)
+        reports its work through a scoped meter, not onto the facade —
+        its scoped work accounting must equal the scalar path's."""
+        from tests.conftest import build_three_table_db
+
+        from repro.core.config import AdaptiveConfig, ReorderMode
+
+        db = build_three_table_db()
+        facade = db.enable_concurrent_metering()
+        base = facade.base
+        sql = (
+            "SELECT O.id FROM Owner O, Car C "
+            "WHERE O.id = C.ownerid AND C.make = 'Rare'"
+        )
+        plan = db.plan(sql)
+        with facade.scoped():
+            scalar = db.execute(plan, AdaptiveConfig(mode=ReorderMode.BOTH))
+        before = base.snapshot()
+        batched_config = AdaptiveConfig(
+            mode=ReorderMode.BOTH, batched=True, batch_size=64
+        )
+        with facade.scoped() as local:
+            batched = db.execute(plan, batched_config)
+            assert base.total_units == before.total_units, (
+                "base must not be charged while a scope is active"
+            )
+            assert local.total_units == batched.stats.total_work
+        assert sorted(batched.rows) == sorted(scalar.rows)
+        assert batched.stats.total_work == scalar.stats.total_work, (
+            "batched-path direct stores must land in the scoped meter"
+        )
+        assert not set(vars(facade)) & set(WorkMeter.__dataclass_fields__), (
+            "no counter attribute may shadow the facade's routing"
+        )
+        assert base.total_units > before.total_units, "scope merged into base"

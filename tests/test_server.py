@@ -249,6 +249,48 @@ class TestPlanCache:
         assert len(errors) == 1, "the failing leader sees its own error"
         assert results == [("good plan", MISS)], "the waiter retried as leader"
 
+    def test_waiter_replans_when_generation_differs_from_leader(self):
+        """A waiter admitted under a newer catalog generation must not
+        reuse the in-flight leader's plan — it replans as a new leader."""
+        cache = PlanCache(capacity=8)
+        release = threading.Event()
+        calls = []
+
+        def old_planner(sql):
+            calls.append("g1")
+            assert release.wait(5.0)
+            return "g1 plan"
+
+        def new_planner(sql):
+            calls.append("g2")
+            return "g2 plan"
+
+        results = {}
+
+        def leader():
+            results["leader"] = cache.get_or_plan("q", ("g1",), old_planner)
+
+        def waiter():
+            # Queue behind the g1 leader, but under generation g2.
+            deadline = time.time() + 5.0
+            while not calls and time.time() < deadline:
+                time.sleep(0.005)
+            results["waiter"] = cache.get_or_plan("q", ("g2",), new_planner)
+
+        threads = [threading.Thread(target=leader), threading.Thread(target=waiter)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let the waiter block on the leader's flight
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert results["leader"] == ("g1 plan", MISS)
+        assert results["waiter"] == ("g2 plan", MISS), (
+            "waiter must replan under its own generation, not reuse g1"
+        )
+        # The g2 plan is what survives for the current generation.
+        assert cache.get_or_plan("q", ("g2",), new_planner)[1] == HIT
+
 
 # ---------------------------------------------------------------------------
 # Admission control
@@ -295,6 +337,26 @@ class TestAdmission:
         assert decision.reject_code == ErrorCode.RATE_LIMITED
         now[0] += 1.0
         assert admission.submit(session).admitted
+
+    def test_overload_rejection_does_not_consume_rate_token(self):
+        """Queue-full rejections must not also burn a rate-limit token,
+        or retrying clients get double-penalized during overload."""
+        now = [0.0]
+        config = ServerConfig(
+            max_queue_depth=1, rate_limit_qps=1.0, rate_limit_burst=1.0
+        )
+        admission = AdmissionController(config)
+        session = Session(
+            peer="t", bucket=TokenBucket(1.0, 1.0, clock=lambda: now[0])
+        )
+        assert admission.submit(session).admitted  # queue full, token spent
+        now[0] += 1.0  # the single token refills
+        decision = admission.submit(session)
+        assert decision.reject_code == ErrorCode.REJECTED_OVERLOAD
+        admission.on_dequeued()
+        assert admission.submit(session).admitted, (
+            "the overload rejection must have left the token untouched"
+        )
 
     def test_draining_rejects_everything(self):
         admission = AdmissionController(ServerConfig())
@@ -659,6 +721,72 @@ class TestServerIntegration:
         assert first["status"] == "ok"
         assert second["status"] == "error"
         assert second["code"] == ErrorCode.RATE_LIMITED
+
+    def test_worker_slot_survives_fault_outside_run_one_guard(self):
+        """A fault before _run_one's own try block (here: apply_shed) must
+        answer INTERNAL and keep the slot serving, not kill it silently."""
+
+        async def scenario(server, engine):
+            engine.release.set()
+            original = server.admission.apply_shed
+            exploded = []
+
+            def exploding_apply_shed(request, shed):
+                if not exploded:
+                    exploded.append(True)
+                    raise RuntimeError("synthetic shed fault")
+                return original(request, shed)
+
+            server.admission.apply_shed = exploding_apply_shed
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'a'")
+            first = await client.recv()
+            # max_concurrency=1: only a surviving slot can answer this.
+            await client.send(op="query", id=2, sql="SELECT 'b'")
+            second = await client.recv()
+            await client.close()
+            return first, second
+
+        first, second = run_server_scenario(tiny_config(), scenario)
+        assert first["status"] == "error"
+        assert first["code"] == ErrorCode.INTERNAL
+        assert "synthetic shed fault" in first["error"]
+        assert second["status"] == "ok" and second["id"] == 2
+
+    def test_shutdown_bounded_even_with_uncancellable_query(self):
+        """Drain must be bounded by the grace window even when an engine
+        thread ignores cancellation between cooperative safe points."""
+
+        class StuckEngine:
+            def __init__(self):
+                self.release = threading.Event()
+                self.started = threading.Semaphore(0)
+
+            def execute(self, sql, config, limits):
+                self.started.release()
+                assert self.release.wait(30.0)  # never checks the token
+                return EngineResult(
+                    rows=[], work_units=0.0, wall_ms=0.0, switches=0,
+                    degraded=False, workers=1, plan_cache="off",
+                )
+
+        engine = StuckEngine()
+
+        async def main():
+            server = QueryServer(None, tiny_config(), engine=engine)
+            await server.start()
+            client = await ServerClient.connect(server.port)
+            await client.send(op="query", id=1, sql="SELECT 'stuck'")
+            assert await asyncio.to_thread(engine.started.acquire, timeout=5.0)
+            start = time.perf_counter()
+            await asyncio.wait_for(server.shutdown(grace=0.2), timeout=15.0)
+            elapsed = time.perf_counter() - start
+            engine.release.set()  # let the executor thread finish
+            await client.close()
+            return elapsed
+
+        elapsed = asyncio.run(main())
+        assert elapsed < 10.0, "shutdown must not wait out the stuck query"
 
     def test_shed_levels_applied_from_queue_pressure(self):
         config = tiny_config(
