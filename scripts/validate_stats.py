@@ -5,8 +5,9 @@ Connects to a live server (start one with ``python -m repro serve``),
 issues ``{"op": "stats"}``, and checks the response document:
 
 * top-level sections ``server``, ``admission``, ``latency_ms``,
-  ``queries``, ``plan_cache`` all present, each an object with exactly
-  the documented keys;
+  ``queries``, ``plan_cache``, ``telemetry`` all present, each an object
+  with exactly the documented keys; ``per_session`` is a list with one
+  counter object per connected session;
 * types: counters are non-negative numbers, ``draining`` is a bool,
   quantiles are numbers or null;
 * invariants: ``in_flight <= max_concurrency``,
@@ -76,6 +77,26 @@ SCHEMA = {
         "evictions": "count",
         "invalidations": "count",
     },
+    "telemetry": {
+        "recorded_total": "count",
+        "slow_total": "count",
+        "slow_queries_total": "count",
+        "probe_cache_hits_total": "count",
+        "probe_cache_misses_total": "count",
+        "store_segments": "count",
+    },
+}
+
+#: Sections whose body is a list of objects (one entry per item).
+LIST_SCHEMA = {
+    "per_session": {
+        "session": "string",
+        "submitted": "count",
+        "completed": "count",
+        "rejected": "count",
+        "queued": "count",
+        "in_flight": "count",
+    },
 }
 
 
@@ -87,6 +108,12 @@ def check_type(path: str, value, kind: str) -> None:
     if kind == "bool":
         if not isinstance(value, bool):
             raise ValidationError(f"{path}: expected bool, got {value!r}")
+        return
+    if kind == "string":
+        if not isinstance(value, str) or not value:
+            raise ValidationError(
+                f"{path}: expected non-empty string, got {value!r}"
+            )
         return
     if kind == "number_or_null":
         if value is None:
@@ -102,7 +129,7 @@ def validate(stats: dict) -> list[str]:
     """Raises ValidationError on the first violation; returns notes."""
     if not isinstance(stats, dict):
         raise ValidationError(f"stats document is not an object: {stats!r}")
-    extra_sections = set(stats) - set(SCHEMA)
+    extra_sections = set(stats) - set(SCHEMA) - set(LIST_SCHEMA)
     if extra_sections:
         raise ValidationError(f"unknown sections: {sorted(extra_sections)}")
     for section, fields in SCHEMA.items():
@@ -117,6 +144,22 @@ def validate(stats: dict) -> list[str]:
             raise ValidationError(f"{section}: unknown keys {sorted(extra)}")
         for key, kind in fields.items():
             check_type(f"{section}.{key}", body[key], kind)
+    for section, fields in LIST_SCHEMA.items():
+        body = stats.get(section)
+        if not isinstance(body, list):
+            raise ValidationError(f"missing/invalid list section {section!r}")
+        for index, entry in enumerate(body):
+            path = f"{section}[{index}]"
+            if not isinstance(entry, dict):
+                raise ValidationError(f"{path}: expected object, got {entry!r}")
+            missing = set(fields) - set(entry)
+            if missing:
+                raise ValidationError(f"{path}: missing keys {sorted(missing)}")
+            extra = set(entry) - set(fields)
+            if extra:
+                raise ValidationError(f"{path}: unknown keys {sorted(extra)}")
+            for key, kind in fields.items():
+                check_type(f"{path}.{key}", entry[key], kind)
 
     admission = stats["admission"]
     if admission["in_flight"] > admission["max_concurrency"]:
@@ -159,6 +202,17 @@ def validate(stats: dict) -> list[str]:
     if latency["count"] < outcomes:
         raise ValidationError(
             f"latency count {latency['count']} < recorded outcomes {outcomes}"
+        )
+    if len(stats["per_session"]) != stats["server"]["sessions"]:
+        raise ValidationError(
+            f"per_session has {len(stats['per_session'])} entries but "
+            f"server.sessions is {stats['server']['sessions']}"
+        )
+    telemetry = stats["telemetry"]
+    if telemetry["slow_total"] > telemetry["recorded_total"]:
+        raise ValidationError(
+            "telemetry.slow_total exceeds recorded_total "
+            f"({telemetry['slow_total']} > {telemetry['recorded_total']})"
         )
     return [
         f"uptime {stats['server']['uptime_s']}s",

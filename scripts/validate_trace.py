@@ -1,110 +1,121 @@
 #!/usr/bin/env python3
-"""Validate a JSONL span trace against the documented schema.
+"""Validate JSONL observability artifacts against the shared schemas.
 
-Schema (see ``src/repro/obs/trace.py``): one JSON object per line with
-exactly the keys ``span_id``, ``parent_id``, ``name``, ``kind``,
-``start_ms``, ``end_ms``, ``attrs``. Checks performed:
+Two line-oriented formats are understood (auto-detected per file from the
+first line, see ``repro.obs.schema.sniff_kind``):
 
-* every line parses as a JSON object with exactly those keys;
-* types: ``span_id`` positive int, ``parent_id`` int or null, ``name``
-  non-empty str, ``kind`` one of the documented kinds, ``start_ms`` /
-  ``end_ms`` numbers (``end_ms`` may be null), ``attrs`` an object;
-* span IDs are unique, every non-null ``parent_id`` resolves to a span
-  that appeared on an **earlier** line (parents open before children);
-* ``end_ms >= start_ms`` for every closed span;
-* at least one root span (``parent_id`` null) exists.
+* **span traces** (``src/repro/obs/trace.py``): one span object per line
+  with exactly the documented keys; unique ids, parents before children,
+  ``end_ms >= start_ms``, at least one root;
+* **telemetry segments** (``src/repro/obs/recorder.py``): one typed
+  record per line; every record must carry a known ``"type"`` tag
+  (currently only ``"flight"``) — an unknown record type is a hard
+  validation error (non-zero exit), so schema drift fails loudly.
+
+Arguments may be files or directories; a directory is expanded to every
+``*.jsonl`` file inside it (the layout of a ``--telemetry-dir``). The
+schemas themselves live in ``repro.obs.schema`` — this script is a thin
+CLI that adds the repo's ``src/`` to ``sys.path`` itself, so it runs
+without ``PYTHONPATH`` in any CI image.
 
 Usage::
 
     python scripts/validate_trace.py trace.jsonl
+    python scripts/validate_trace.py telemetry-dir/
+    python scripts/validate_trace.py trace.jsonl telemetry-dir/
 
-Exits 0 and prints a summary on success; exits 1 with the first offending
-line on failure. Stdlib only — runnable in any CI image.
+Exits 0 with a per-file summary on success; exits 1 naming the first
+offending file/line on failure; exits 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
-EXPECTED_KEYS = (
-    "span_id",
-    "parent_id",
-    "name",
-    "kind",
-    "start_ms",
-    "end_ms",
-    "attrs",
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
-KINDS = ("phase", "leg", "check", "adapt", "event")
+
+from repro.obs.schema import (  # noqa: E402
+    TelemetryValidator,
+    TraceValidator,
+    sniff_kind,
+)
 
 
-def fail(line_no: int, message: str) -> "None":
-    print(f"INVALID: line {line_no}: {message}", file=sys.stderr)
-    raise SystemExit(1)
+def expand(paths: list[str]) -> list[str]:
+    """Files as given; directories become their ``*.jsonl`` members."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            members = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".jsonl")
+            )
+            if not members:
+                print(
+                    f"INVALID: {path}: directory has no .jsonl files",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+            out.extend(members)
+        else:
+            out.append(path)
+    return out
 
 
-def validate(path: str) -> int:
-    seen_ids: set[int] = set()
-    roots = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
+def validate_file(path: str) -> str:
+    """Validate one file; returns a summary line or exits 1."""
+
+    def fail(line_no: int, message: str) -> "None":
+        print(f"INVALID: {path}:{line_no}: {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        print(f"INVALID: {path}: cannot read: {error}", file=sys.stderr)
+        raise SystemExit(1)
     if not lines:
-        fail(0, "trace file is empty")
+        fail(0, "file is empty")
+    kind = sniff_kind(lines[0])
+    if kind == "unknown":
+        fail(1, "cannot detect format (neither a span nor a typed record)")
+    validator = TraceValidator() if kind == "trace" else TelemetryValidator()
     for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
         try:
-            span = json.loads(line)
+            obj = json.loads(line)
         except json.JSONDecodeError as exc:
             fail(line_no, f"not valid JSON: {exc}")
-        if not isinstance(span, dict):
-            fail(line_no, f"expected an object, got {type(span).__name__}")
-        if tuple(span) != EXPECTED_KEYS:
-            fail(
-                line_no,
-                f"keys {tuple(span)!r} != expected {EXPECTED_KEYS!r}",
-            )
-        span_id = span["span_id"]
-        if not isinstance(span_id, int) or isinstance(span_id, bool) or span_id < 1:
-            fail(line_no, f"span_id must be a positive int, got {span_id!r}")
-        if span_id in seen_ids:
-            fail(line_no, f"duplicate span_id {span_id}")
-        parent_id = span["parent_id"]
-        if parent_id is None:
-            roots += 1
-        elif not isinstance(parent_id, int) or isinstance(parent_id, bool):
-            fail(line_no, f"parent_id must be int or null, got {parent_id!r}")
-        elif parent_id not in seen_ids:
-            fail(
-                line_no,
-                f"parent_id {parent_id} does not reference an earlier span",
-            )
-        seen_ids.add(span_id)
-        if not isinstance(span["name"], str) or not span["name"]:
-            fail(line_no, f"name must be a non-empty string, got {span['name']!r}")
-        if span["kind"] not in KINDS:
-            fail(line_no, f"kind {span['kind']!r} not in {KINDS}")
-        start_ms = span["start_ms"]
-        end_ms = span["end_ms"]
-        if not isinstance(start_ms, (int, float)) or isinstance(start_ms, bool):
-            fail(line_no, f"start_ms must be a number, got {start_ms!r}")
-        if end_ms is not None:
-            if not isinstance(end_ms, (int, float)) or isinstance(end_ms, bool):
-                fail(line_no, f"end_ms must be a number or null, got {end_ms!r}")
-            if end_ms < start_ms:
-                fail(line_no, f"end_ms {end_ms} < start_ms {start_ms}")
-        if not isinstance(span["attrs"], dict):
-            fail(line_no, f"attrs must be an object, got {span['attrs']!r}")
-    if roots == 0:
-        fail(len(lines), "no root span (parent_id null) in the trace")
-    print(f"OK: {len(lines)} span(s), {roots} root(s)")
-    return 0
+        problems = validator.feed(obj)
+        if problems:
+            fail(line_no, "; ".join(problems))
+    problems = validator.finish()
+    if problems:
+        fail(len(lines), "; ".join(problems))
+    if kind == "trace":
+        return (
+            f"{path}: {validator.lines} span(s), {validator.roots} root(s)"
+        )
+    return (
+        f"{path}: {validator.lines} telemetry record(s), "
+        f"{len(validator.seen_query_ids)} unique query id(s)"
+    )
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    return validate(argv[1])
+    for path in expand(argv[1:]):
+        print("OK: " + validate_file(path))
+    return 0
 
 
 if __name__ == "__main__":

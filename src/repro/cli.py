@@ -7,13 +7,19 @@ Subcommands
                 static and adaptive execution
 ``shell``       interactive SQL shell over a DMV database
 ``serve``       concurrent multi-client query server (NDJSON over TCP)
+``replay``      reconstruct a recorded query's adaptation timeline offline
+``telemetry``   aggregate a telemetry directory into per-template analytics
 ``experiment``  run one of the paper's experiments and print its report
 
 Examples::
 
     python -m repro generate --scale 0.05
-    python -m repro serve --scale 0.05 --port 7654 --max-concurrency 4
+    python -m repro serve --scale 0.05 --port 7654 --telemetry-dir telem/
     python -m repro query --scale 0.05 "SELECT COUNT(*) FROM Car c WHERE c.make = 'Mazda'"
+    python -m repro query --scale 0.02 --extended --telemetry-dir telem/ "SELECT ..."
+    python -m repro replay --telemetry-dir telem/ --latest
+    python -m repro replay --telemetry-dir telem/ --diff q-...-1 q-...-2
+    python -m repro telemetry --telemetry-dir telem/
     python -m repro experiment fig7 --scale 0.05 --queries 10
     python -m repro shell --scale 0.02
 """
@@ -146,6 +152,22 @@ def build_parser() -> argparse.ArgumentParser:
         '(e.g. \'{"seed": 7, "faults": [{"site": "controller", '
         '"nth_call": 1, "kind": "permanent"}]}\') or a path to a JSON file',
     )
+    query.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="record a flight record (decision audit, per-leg q-errors, "
+        "adaptation timeline) to DIR's rotating JSONL store; inspect it "
+        "with `repro replay --telemetry-dir DIR --latest`",
+    )
+    query.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-query threshold for the flight recorder (records at/"
+        "above MS wall-clock are flagged and logged in full)",
+    )
 
     shell = commands.add_parser("shell", help="interactive SQL shell")
     _add_scale(shell)
@@ -235,6 +257,72 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds to let in-flight queries finish on SIGTERM before "
         "cancelling them (default 10)",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="drain per-query flight records to DIR's rotating JSONL "
+        "store (the in-memory ring is always on)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-query log threshold: queries at/above MS wall-clock "
+        "are logged with their full flight record (default: off)",
+    )
+
+    replay = commands.add_parser(
+        "replay",
+        help="reconstruct a recorded query's adaptation timeline offline",
+    )
+    replay.add_argument(
+        "query_id",
+        nargs="?",
+        default=None,
+        help="flight-record query id (q-...); omit with --latest/--list",
+    )
+    replay.add_argument(
+        "--telemetry-dir",
+        required=True,
+        metavar="DIR",
+        help="telemetry directory holding the JSONL segments to read",
+    )
+    replay.add_argument(
+        "--list",
+        action="store_true",
+        help="list the recorded queries instead of replaying one",
+    )
+    replay.add_argument(
+        "--latest",
+        action="store_true",
+        help="replay the most recently recorded query",
+    )
+    replay.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two recorded executions side by side",
+    )
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="aggregate a telemetry directory into per-template analytics",
+    )
+    telemetry.add_argument(
+        "--telemetry-dir",
+        required=True,
+        metavar="DIR",
+        help="telemetry directory holding the JSONL segments to read",
+    )
+    telemetry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregate as JSON (estimate-error feedback input) "
+        "instead of the text report",
     )
 
     experiment = commands.add_parser(
@@ -352,6 +440,19 @@ def _run_query(
                 print(f"  {event.describe()}")
 
 
+def _make_recorder(args):
+    """A FlightRecorder draining to --telemetry-dir, or None."""
+    directory = getattr(args, "telemetry_dir", None)
+    if not directory:
+        return None
+    from repro.obs.recorder import FlightRecorder, TelemetryStore
+
+    return FlightRecorder(
+        store=TelemetryStore(directory),
+        slow_query_ms=getattr(args, "slow_query_ms", None),
+    )
+
+
 def _run_observed_query(
     db: Database,
     sql: str,
@@ -360,9 +461,19 @@ def _run_observed_query(
     limits: ExecutionLimits | None,
     fault_plan: FaultPlan | None,
 ) -> int:
-    """One observed execution: --explain-analyze / --trace / --metrics."""
+    """One observed execution: --explain-analyze / --trace / --metrics /
+    --telemetry-dir."""
     config = _make_config(mode, args)
-    obs = QueryObservability.armed(sample_every=config.check_frequency)
+    recorder = _make_recorder(args)
+    if args.explain_analyze or args.trace or args.metrics:
+        obs = QueryObservability.armed(sample_every=config.check_frequency)
+    else:
+        # Telemetry-only: keep the bundle cold so the run pays no per-row
+        # observability overhead (the decision audit rides the controller's
+        # already-metered check points).
+        obs = QueryObservability()
+    if recorder is not None:
+        obs = recorder.arm(config, base=obs)
 
     def dump_trace() -> None:
         if args.trace and obs.tracer is not None:
@@ -372,6 +483,28 @@ def _run_observed_query(
                 file=sys.stderr,
             )
 
+    def record_flight(result=None, outcome="ok", error=None, wall_ms=None) -> None:
+        if recorder is None:
+            return
+        record = recorder.finish_query(
+            obs,
+            result,
+            sql=sql,
+            config=config,
+            outcome=outcome,
+            error=error,
+            wall_ms=wall_ms,
+        )
+        recorder.close()
+        print(
+            f"telemetry: flight record {record.query_id} "
+            f"({record.adaptations} adaptation(s), "
+            f"{len(record.decisions)} decision(s)) written to "
+            f"{args.telemetry_dir}",
+            file=sys.stderr,
+        )
+
+    started = time.perf_counter()
     try:
         result = db.execute(
             sql, config, limits=limits, fault_plan=fault_plan, obs=obs
@@ -379,6 +512,11 @@ def _run_observed_query(
     except BudgetExceeded as error:
         print(f"budget exceeded — {error.progress_summary()}")
         dump_trace()
+        record_flight(
+            outcome="budget_exceeded",
+            error=error,
+            wall_ms=(time.perf_counter() - started) * 1000.0,
+        )
         return 0
     if args.explain_analyze:
         print(render_explain_analyze(result, limits))
@@ -396,6 +534,7 @@ def _run_observed_query(
         print("\nmetrics:")
         print(result.metrics.render())
     dump_trace()
+    record_flight(result)
     return 0
 
 
@@ -426,7 +565,7 @@ def cmd_query(args) -> int:
             print(f"error: invalid limits: {error}", file=sys.stderr)
             return 2
     db = _load(args)
-    if args.explain_analyze or args.trace or args.metrics:
+    if args.explain_analyze or args.trace or args.metrics or args.telemetry_dir:
         if args.explain:
             print(db.explain(args.sql))
             print()
@@ -492,6 +631,8 @@ def cmd_serve(args) -> int:
             engine_batch_size=args.batch_size,
             plan_cache_size=args.plan_cache,
             drain_grace_seconds=args.drain_grace,
+            telemetry_dir=args.telemetry_dir,
+            slow_query_ms=args.slow_query_ms,
         )
     except ValueError as error:
         print(f"error: invalid server config: {error}", file=sys.stderr)
@@ -510,6 +651,80 @@ def cmd_serve(args) -> int:
         )
 
     return asyncio.run(server.serve_forever(on_ready=on_ready))
+
+
+def cmd_replay(args) -> int:
+    from repro.obs.audit import (
+        find_record,
+        latest_record,
+        load_records,
+        render_diff,
+        render_listing,
+        render_replay,
+    )
+
+    records = load_records(args.telemetry_dir)
+    if not records:
+        print(
+            f"error: no finalized telemetry segments in {args.telemetry_dir!r} "
+            "(a live server finalizes its active segment on drain)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.list:
+        print(render_listing(records))
+        return 0
+    if args.diff is not None:
+        pair = []
+        for query_id in args.diff:
+            record = find_record(records, query_id)
+            if record is None:
+                print(f"error: no record {query_id!r}", file=sys.stderr)
+                return 1
+            pair.append(record)
+        print(render_diff(pair[0], pair[1]))
+        return 0
+    if args.latest:
+        record = latest_record(records)
+    elif args.query_id:
+        record = find_record(records, args.query_id)
+        if record is None:
+            print(
+                f"error: no record {args.query_id!r} "
+                f"({len(records)} record(s) available; try --list)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print(
+            "error: give a query id, or --latest / --list / --diff A B",
+            file=sys.stderr,
+        )
+        return 2
+    assert record is not None
+    print(render_replay(record))
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    import json
+
+    from repro.obs.analytics import TelemetryAnalytics
+    from repro.obs.audit import load_records
+
+    records = load_records(args.telemetry_dir)
+    if not records:
+        print(
+            f"error: no finalized telemetry segments in {args.telemetry_dir!r}",
+            file=sys.stderr,
+        )
+        return 1
+    analytics = TelemetryAnalytics.from_records(records)
+    if args.json:
+        print(json.dumps(analytics.as_dict(), indent=2, default=str))
+    else:
+        print(analytics.render())
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -552,6 +767,8 @@ def main(argv: list[str] | None = None) -> int:
         "query": cmd_query,
         "shell": cmd_shell,
         "serve": cmd_serve,
+        "replay": cmd_replay,
+        "telemetry": cmd_telemetry,
         "experiment": cmd_experiment,
     }
     if args.profile:

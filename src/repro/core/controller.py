@@ -17,6 +17,7 @@ adaptation overhead straight off the meter.
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 from repro.core.config import AdaptiveConfig
@@ -30,10 +31,14 @@ from repro.optimizer.cost import cost_of_order
 from repro.core.ranks import RuntimeModelBuilder
 from repro.core.reorder import decide_inner_order
 from repro.errors import ExecutionError, ReproError
+from repro.obs.recorder import DecisionRecord, rank_terms_for
+from repro.obs.timeseries import snapshot_legs
 from repro.storage.cursor import IndexScanCursor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.executor.pipeline import PipelineExecutor
+
+logger = logging.getLogger(__name__)
 
 
 class AdaptationController:
@@ -82,13 +87,40 @@ class AdaptationController:
             new_suffix = decide_inner_order(
                 pipeline, provider, position, config.inner_policy
             )
-            if pipeline.obs is not None:
-                pipeline.obs.on_check(
+            obs = pipeline.obs
+            if obs is not None:
+                obs.on_check(
                     "inner",
                     applied=new_suffix is not None,
                     driving_rows=pipeline.driving_rows_total,
                     position=position,
                 )
+                if obs.audit is not None:
+                    if new_suffix is None:
+                        # Kept check — the ~per-batch common case. One
+                        # tuple append; DecisionRecord envelopes are
+                        # materialized lazily off the execution path.
+                        try:
+                            obs.audit.on_kept(
+                                "inner",
+                                pipeline.driving_rows_total,
+                                position,
+                                tuple(pipeline.order),
+                            )
+                        except Exception:  # pragma: no cover - advisory
+                            logger.exception(
+                                "decision-audit capture failed (ignored)"
+                            )
+                    else:
+                        self._audit_check(
+                            obs.audit,
+                            pipeline,
+                            provider,
+                            check="inner",
+                            position=position,
+                            new_order=tuple(pipeline.order[:position])
+                            + tuple(new_suffix),
+                        )
             if new_suffix is not None:
                 old_order = tuple(pipeline.order)
                 new_order = tuple(pipeline.order[:position]) + tuple(new_suffix)
@@ -148,13 +180,31 @@ class AdaptationController:
                 self._refresh_dynamic_specs()
             self._builder.refresh_join_selectivities()
             provider = self._builder.build_provider()
-            new_order = decide_driving_switch(pipeline, provider, config)
-            if pipeline.obs is not None:
-                pipeline.obs.on_check(
+            obs = pipeline.obs
+            audit_costs: dict[str, float] | None = (
+                {} if obs is not None and obs.audit is not None else None
+            )
+            new_order = decide_driving_switch(
+                pipeline, provider, config, audit_costs=audit_costs
+            )
+            if obs is not None:
+                obs.on_check(
                     "driving",
                     applied=new_order is not None,
                     driving_rows=pipeline.driving_rows_total,
                 )
+                if obs.audit is not None:
+                    self._audit_check(
+                        obs.audit,
+                        pipeline,
+                        provider,
+                        check="driving",
+                        position=0,
+                        new_order=(
+                            None if new_order is None else tuple(new_order)
+                        ),
+                        candidate_costs=audit_costs,
+                    )
             if new_order is None:
                 return False
             old_order = tuple(pipeline.order)
@@ -176,6 +226,71 @@ class AdaptationController:
                 f"{pipeline.driving_rows_total} driving rows)"
             ) from exc
         return True
+
+    def _audit_check(
+        self,
+        audit,
+        pipeline: "PipelineExecutor",
+        provider,
+        *,
+        check: str,
+        position: int,
+        new_order: tuple[str, ...] | None,
+        candidate_costs: dict[str, float] | None = None,
+    ) -> None:
+        """Feed one check's rank-rule inputs to the flight recorder.
+
+        Runs only at the (already metered) check points and reads only the
+        memoized cost model + monitor windows — wall-clock cost, zero
+        WorkMeter delta. Capture depth follows the decision: **applied**
+        checks (the rare ones ``repro replay`` must explain) record the
+        full Eq (3) rank terms, the monitors' window estimates, and the
+        cost comparison; kept **driving** checks (also rare — once per
+        ``check_frequency`` driving rows) keep the candidate cost table,
+        a free side product of :func:`decide_driving_switch`. Kept
+        *inner* checks — thousands per adaptive query — never reach this
+        method at all: they take the tuple-cheap
+        :meth:`~repro.obs.recorder.FlightRecording.on_kept` path, which
+        is what holds the always-on recorder inside its ≤5% wall budget.
+        Advisory like the monitors: a failure here must never degrade or
+        abort the query, so everything is swallowed.
+        """
+        try:
+            order = list(pipeline.order)
+            applied = new_order is not None
+            current_cost: float | None = None
+            new_cost: float | None = None
+            if check == "driving" and candidate_costs:
+                # Side product of decide_driving_switch — already paid for.
+                current_cost = candidate_costs.get(order[0])
+                new_cost = (
+                    candidate_costs.get(new_order[0]) if applied else None
+                )
+            elif applied:
+                current_cost = cost_of_order(tuple(order), provider)
+                new_cost = cost_of_order(tuple(new_order), provider)
+            audit.on_decision(
+                DecisionRecord(
+                    check=check,
+                    applied=applied,
+                    driving_rows=pipeline.driving_rows_total,
+                    position=position,
+                    order_before=tuple(order),
+                    order_after=new_order,
+                    rank_terms=(
+                        rank_terms_for(order, max(position, 1), provider)
+                        if applied
+                        else ()
+                    ),
+                    candidate_costs=dict(candidate_costs or {}),
+                    estimated_current_cost=current_cost,
+                    estimated_new_cost=new_cost,
+                    window=snapshot_legs(pipeline) if applied else {},
+                    monitor_granularity=self.config.monitor_granularity,
+                )
+            )
+        except Exception:  # pragma: no cover - advisory-only capture
+            logger.exception("decision-audit capture failed (ignored)")
 
     def _refresh_dynamic_specs(self) -> None:
         """Sec 6 extension: re-pick access paths from monitored locals.

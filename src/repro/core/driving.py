@@ -38,11 +38,21 @@ def decide_driving_switch(
     pipeline: "PipelineExecutor",
     provider: ModelProvider,
     config: AdaptiveConfig,
+    audit_costs: dict[str, float] | None = None,
 ) -> list[str] | None:
-    """A cheaper full order led by a different leg, or None."""
+    """A cheaper full order led by a different leg, or None.
+
+    When *audit_costs* is given (the flight recorder's decision audit),
+    every candidate's estimated full-order cost — after the anti-thrash
+    penalty, exactly the number the comparison below uses — is recorded
+    under its leading alias, plus the current order's cost under the
+    current driving alias. Pure cost-model reads; never charges the meter.
+    """
     order = pipeline.order
     graph = pipeline.join_graph
     current_cost = cost_of_order(order, provider)
+    if audit_costs is not None:
+        audit_costs[order[0]] = current_cost
     best_order: list[str] | None = None
     best_cost = current_cost
     for candidate in order:
@@ -65,6 +75,8 @@ def decide_driving_switch(
             # cause ping-ponging (the fluctuation Sec 5.4 observes for
             # small history windows).
             cost *= (1.0 + config.switch_benefit_threshold) ** abandoned
+        if audit_costs is not None:
+            audit_costs[candidate] = cost
         if cost < best_cost:
             best_cost = cost
             best_order = list(candidate_order)

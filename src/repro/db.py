@@ -142,6 +142,10 @@ class QueryResult:
     trace: Tracer | None = None
     metrics: MetricsRegistry | None = None
     samples: tuple[EstimateSample, ...] = ()
+    # Flight-recorder decision audit (``obs.audit`` armed): every reorder
+    # check the controller ran, with the rank-rule inputs it saw
+    # (:class:`~repro.obs.recorder.DecisionRecord`).
+    decisions: tuple = ()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -430,6 +434,11 @@ class Database:
                 if obs is not None and obs.sampler is not None
                 else ()
             ),
+            decisions=(
+                tuple(obs.audit.decisions)
+                if obs is not None and obs.audit is not None
+                else ()
+            ),
         )
 
     def _finish_parallel(
@@ -481,6 +490,11 @@ class Database:
             samples=(
                 tuple(obs.sampler.samples)
                 if obs is not None and obs.sampler is not None
+                else ()
+            ),
+            decisions=(
+                tuple(obs.audit.decisions)
+                if obs is not None and obs.audit is not None
                 else ()
             ),
         )

@@ -292,7 +292,7 @@ class BatchedPipelineExecutor(PipelineExecutor):
             yield from super()._run()
             return
 
-        if self._enforcer is None and self.obs is None:
+        if self._enforcer is None and (self.obs is None or not self.obs.hot):
             if not self.config.mode.monitors:
                 # Mode NONE with no limits and no observability: nothing can
                 # read the meter, the monitors, or the pipeline mid-run, so
@@ -319,7 +319,7 @@ class BatchedPipelineExecutor(PipelineExecutor):
         controller = self.controller
         meter = self.catalog.meter
         limits = self._enforcer
-        obs = self.obs
+        obs = self.obs if (self.obs is not None and self.obs.hot) else None
         projector = self._projector
 
         leg_count = len(self.order)

@@ -110,7 +110,10 @@ class PipelineExecutor:
         }
         for leg in self.legs.values():
             leg.degrade_hook = self._record_monitor_degraded
-            leg.obs = obs
+            # Access-layer hooks are all per-probe/per-row ("hot"); a
+            # recorder-only bundle (obs.hot False) must keep the access
+            # layer on the exact observability-off code path.
+            leg.obs = obs if (obs is not None and obs.hot) else None
             if oracle is not None:
                 leg.collect_rids = True
         self.order: list[str] = list(plan.order)
@@ -364,7 +367,10 @@ class PipelineExecutor:
         meter = self.catalog.meter
         limits = self._enforcer
         oracle = self.oracle
-        obs = self.obs
+        # Per-row hook sites below fire only for hot bundles; cold
+        # consumers (the flight recorder's decision audit) are fed at the
+        # controller's check points instead.
+        obs = self.obs if (self.obs is not None and self.obs.hot) else None
         if leg_count == 1:
             only = self.order[0]
             assert self._driving_iter is not None

@@ -16,9 +16,25 @@ Pieces (see each module's docstring for the full contract):
 * :mod:`repro.obs.timeseries` — periodic snapshots of the monitors'
   Eq (5-11) estimates for convergence analysis;
 * :mod:`repro.obs.observer` — the engine-facing bundle of all three;
-* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report renderer.
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report renderer;
+* :mod:`repro.obs.recorder` — the always-on flight recorder (per-query
+  records with the decision audit, ring buffer + rotating JSONL store);
+* :mod:`repro.obs.audit` — offline replay of recorded queries ("why did
+  the driving leg switch at row N");
+* :mod:`repro.obs.analytics` — per-template aggregates over recorded
+  telemetry (estimate-error feedback input);
+* :mod:`repro.obs.schema` — the declarative JSONL schemas shared by the
+  validators and ``scripts/validate_trace.py``.
 """
 
+from repro.obs.analytics import TelemetryAnalytics
+from repro.obs.audit import (
+    load_records,
+    reconstruct_events,
+    render_diff,
+    render_listing,
+    render_replay,
+)
 from repro.obs.explain import render_explain_analyze
 from repro.obs.metrics import (
     MATCH_BUCKETS,
@@ -29,13 +45,25 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.observer import QueryObservability
+from repro.obs.recorder import (
+    DecisionRecord,
+    FlightRecord,
+    FlightRecorder,
+    FlightRecording,
+    RankTerm,
+    TelemetryStore,
+)
 from repro.obs.timeseries import EstimateSample, EstimateSampler
 from repro.obs.trace import JSONL_KEYS, SPAN_KINDS, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DecisionRecord",
     "EstimateSample",
     "EstimateSampler",
+    "FlightRecord",
+    "FlightRecorder",
+    "FlightRecording",
     "Gauge",
     "Histogram",
     "JSONL_KEYS",
@@ -43,8 +71,16 @@ __all__ = [
     "MetricsRegistry",
     "QueryObservability",
     "RATIO_BUCKETS",
+    "RankTerm",
     "SPAN_KINDS",
     "Span",
+    "TelemetryAnalytics",
+    "TelemetryStore",
     "Tracer",
+    "load_records",
+    "reconstruct_events",
+    "render_diff",
+    "render_listing",
+    "render_replay",
     "render_explain_analyze",
 ]

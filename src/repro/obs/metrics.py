@@ -31,6 +31,7 @@ name                               type    meaning
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Iterator, Mapping
 
@@ -109,6 +110,11 @@ class Histogram:
         self._counts: dict[str, int] = {}
 
     def observe(self, value: float, label: str = "") -> None:
+        if not math.isfinite(value):
+            # NaN would poison every later quantile/mean and ±inf the sum;
+            # non-finite observations are dropped (count stays exact for
+            # everything actually measurable).
+            return
         buckets = self._buckets.get(label)
         if buckets is None:
             buckets = [0] * (len(self.boundaries) + 1)
@@ -222,6 +228,58 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, Any]:
         """A JSON-safe snapshot of every metric in the registry."""
         return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def render_prometheus(self, label_name: str = "label") -> str:
+        """Prometheus text exposition (``# HELP`` / ``# TYPE`` / series).
+
+        Histograms render the standard cumulative ``_bucket{le=...}``
+        series plus ``_sum`` and ``_count``. Every metric here carries at
+        most one label dimension; *label_name* names it on the wire.
+        """
+
+        def escape(value: str) -> str:
+            return (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+
+        def series(name: str, label: str, extra: str = "") -> str:
+            parts = []
+            if label:
+                parts.append(f'{label_name}="{escape(label)}"')
+            if extra:
+                parts.append(extra)
+            return f"{name}{{{','.join(parts)}}}" if parts else name
+
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                for label, value in metric.items():
+                    lines.append(f"{series(name, label)} {value:g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                for label, value in metric.items():
+                    lines.append(f"{series(name, label)} {value:g}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                for label in metric.labels():
+                    cumulative = 0
+                    for le, count in metric.buckets(label).items():
+                        cumulative += count
+                        bucket = series(name + "_bucket", label, f'le="{le}"')
+                        lines.append(f"{bucket} {cumulative}")
+                    lines.append(
+                        f"{series(name + '_sum', label)} {metric.sum(label):g}"
+                    )
+                    lines.append(
+                        f"{series(name + '_count', label)} {metric.count(label)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
 
     def render(self) -> str:
         """Plain-text exposition, one ``name{label} value`` line per series."""

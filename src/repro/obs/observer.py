@@ -48,6 +48,16 @@ class QueryObservability:
         self.metrics = metrics
         self.sampler = sampler
         self.probe_batch = probe_batch
+        # Flight-recorder decision audit (obs/recorder.py). Fed only at the
+        # controller's cold check points, so it does not make the bundle hot.
+        self.audit = None
+        # ``hot`` = some per-row/per-probe consumer is armed. The executor
+        # only wires the hot hook sites (and gives up its turbo/fast batched
+        # paths) for hot bundles; a recorder-only bundle stays on the exact
+        # same code path as observability-off execution.
+        self.hot = (
+            tracer is not None or metrics is not None or sampler is not None
+        )
         # Per-leg probe accumulators: [probes, index_matches, rows_out].
         self._batches: dict[str, list[int]] = {}
         if metrics is not None:
@@ -266,8 +276,32 @@ class QueryObservability:
                 self.sampler.sample(pipeline)
             if self.metrics is not None:
                 self._observe_selectivity_errors(pipeline)
+                self._observe_probe_cache_rates(pipeline)
+            if self.audit is not None:
+                self.audit.on_finish(pipeline)
         if self.tracer is not None:
             self.tracer.close_all()
+
+    def _observe_probe_cache_rates(self, pipeline: "PipelineExecutor") -> None:
+        """Per-leg probe-cache hit rate as a proper registry gauge.
+
+        EXPLAIN ANALYZE reads the cache counts off the WorkMeter; here the
+        per-leg ``probe_cache_hits_total`` / ``..._misses_total`` counters
+        (exact, hot-path) are folded into one ``probe_cache_hit_rate{leg}``
+        gauge so the rate shows up in ``stats`` / Prometheus exposition
+        without consumers re-deriving it. Legs that never consulted the
+        cache (cache off, or the scalar executor) report no series — the
+        historical "default 0" quirk stays confined to EXPLAIN ANALYZE.
+        """
+        gauge = self.metrics.gauge(
+            "probe_cache_hit_rate", "probe-cache hit rate by leg"
+        )
+        for alias in pipeline.order:
+            hits = self._cache_hits.value(alias)
+            misses = self._cache_misses.value(alias)
+            lookups = hits + misses
+            if lookups > 0:
+                gauge.set(hits / lookups, alias)
 
     def _observe_selectivity_errors(self, pipeline: "PipelineExecutor") -> None:
         """Fold final measured-vs-prior selectivity ratios into the histogram."""

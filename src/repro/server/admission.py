@@ -83,6 +83,17 @@ class ServerConfig:
     plan_cache_size: int = 256
     # Seconds to wait for in-flight queries on SIGTERM before cancelling.
     drain_grace_seconds: float = 10.0
+    # Flight recorder: every query leaves a record in a bounded in-memory
+    # ring; setting a directory additionally drains records to rotating
+    # JSONL segments (size-capped, atomic finalization, oldest pruned).
+    telemetry_dir: str | None = None
+    telemetry_ring: int = 256
+    telemetry_segment_bytes: int = 1_048_576
+    telemetry_segments: int = 16
+    # Slow-query log: queries at/above this wall-clock threshold are kept
+    # in a dedicated ring and logged with their full flight record
+    # (None disables the slow log; records are still captured).
+    slow_query_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -103,6 +114,14 @@ class ServerConfig:
             raise ValueError("default_max_rows must be <= max_max_rows")
         if self.engine_workers < 1:
             raise ValueError("engine_workers must be >= 1")
+        if self.telemetry_ring < 1:
+            raise ValueError("telemetry_ring must be >= 1")
+        if self.telemetry_segment_bytes < 1:
+            raise ValueError("telemetry_segment_bytes must be >= 1")
+        if self.telemetry_segments < 1:
+            raise ValueError("telemetry_segments must be >= 1")
+        if self.slow_query_ms is not None and self.slow_query_ms <= 0:
+            raise ValueError("slow_query_ms must be positive (or None)")
 
 
 @dataclass

@@ -9,6 +9,8 @@ Requests::
     {"op": "query", "id": 7, "sql": "SELECT ...", "mode": "both",
      "timeout_ms": 2000, "max_rows": 1000, "workers": 1}
     {"op": "stats"}
+    {"op": "telemetry", "limit": 20}            # recent/slow flight records
+    {"op": "telemetry", "format": "prometheus"}  # metrics exposition text
     {"op": "ping"}
 
 Responses::
@@ -28,7 +30,6 @@ retry with backoff.
 from __future__ import annotations
 
 import json
-import re
 from dataclasses import dataclass
 from typing import Any
 
@@ -173,45 +174,11 @@ def encode_response(payload: dict) -> bytes:
 
 
 # ---------------------------------------------------------------------------
-# SQL normalization (plan-cache keys and template grouping)
+# SQL normalization (plan-cache keys and template grouping) now lives in
+# repro.query.sql.normalize so the observability layer can share it without
+# importing the server package; re-exported here for existing callers.
 # ---------------------------------------------------------------------------
-# Split SQL into single-quoted string literals and everything else, so
-# normalization never rewrites inside a literal ('' is the escaped quote).
-_TOKEN = re.compile(r"'(?:[^']|'')*'|[^']+")
-_WS = re.compile(r"\s+")
-_NUMBER = re.compile(r"\b\d+(?:\.\d+)?\b")
-
-
-def normalize_sql(sql: str) -> str:
-    """Canonical text of *sql*: whitespace collapsed outside string literals.
-
-    This is the **plan-cache key**. Literals are deliberately preserved:
-    a :class:`~repro.optimizer.plans.PipelinePlan` embeds its predicate
-    constants (index ranges, residual comparisons), so two queries that
-    differ only in literals need *different* plans — the cache may only
-    hit on semantically identical statements.
-    """
-    parts: list[str] = []
-    for match in _TOKEN.finditer(sql):
-        token = match.group(0)
-        if token.startswith("'"):
-            parts.append(token)
-        else:
-            parts.append(_WS.sub(" ", token))
-    return "".join(parts).strip()
-
-
-def template_signature(sql: str) -> str:
-    """The query's *template*: literals replaced by ``?``.
-
-    Used only for grouping metrics (per-template hit rates, latency) —
-    never as a plan-cache key, because plans embed their constants.
-    """
-    parts: list[str] = []
-    for match in _TOKEN.finditer(sql):
-        token = match.group(0)
-        if token.startswith("'"):
-            parts.append("?")
-        else:
-            parts.append(_NUMBER.sub("?", _WS.sub(" ", token)))
-    return "".join(parts).strip()
+from repro.query.sql.normalize import (  # noqa: E402,F401
+    normalize_sql,
+    template_signature,
+)

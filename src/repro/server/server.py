@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.executor.parallel import catalog_generation
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder, TelemetryStore
 from repro.robustness.limits import CancellationToken, ExecutionLimits
 from repro.server.admission import (
     AdmissionController,
@@ -91,6 +92,11 @@ class EngineResult:
     degraded: bool
     workers: int
     plan_cache: str  # hit / miss / wait / off
+    # Flight-recorder context (None/0 when the engine records nothing).
+    query_id: str | None = None
+    slow: bool = False
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
 
 
 class DatabaseEngine:
@@ -109,25 +115,83 @@ class DatabaseEngine:
         self.plan_cache = PlanCache(config.plan_cache_size)
         self.meter = db.enable_concurrent_metering()
         self._parallel_mutex = threading.Lock()
+        # Always-on flight recorder: every served query leaves a bounded
+        # record; a telemetry directory adds the rotating JSONL store.
+        store = (
+            TelemetryStore(
+                config.telemetry_dir,
+                max_segment_bytes=config.telemetry_segment_bytes,
+                max_segments=config.telemetry_segments,
+            )
+            if config.telemetry_dir
+            else None
+        )
+        self.recorder = FlightRecorder(
+            capacity=config.telemetry_ring,
+            store=store,
+            slow_query_ms=config.slow_query_ms,
+        )
         # Fold rows appended after index creation so the first concurrent
         # queries cannot race a lazy refresh.
         for name in db.catalog.table_names():
             for index in db.catalog.indexes_of(name).values():
                 index.refresh()
 
-    def execute(self, sql: str, config, limits: ExecutionLimits) -> EngineResult:
-        generation = catalog_generation(self.db.catalog)
-        plan, outcome = self.plan_cache.get_or_plan(
-            sql, generation, self.db.plan
+    def _classify(self, error: BaseException, limits: ExecutionLimits) -> str:
+        if isinstance(error, BudgetExceeded):
+            token = limits.cancellation
+            if token is not None and token.cancelled:
+                return "cancelled"
+            return "budget_exceeded"
+        if isinstance(error, (QueryError, PlanError, CatalogError, SchemaError)):
+            return "sql_error"
+        return "internal_error"
+
+    def execute(
+        self,
+        sql: str,
+        config,
+        limits: ExecutionLimits,
+        context: dict | None = None,
+    ) -> EngineResult:
+        context = context or {}
+        # Recorder-only bundle: the decision audit is armed but the bundle
+        # stays cold, so the executor keeps its batched fast paths and the
+        # deterministic WorkMeter sees zero extra charges. Armed before
+        # planning so rejected statements leave flight records too.
+        bundle = self.recorder.arm(config)
+        started = time.perf_counter()
+        try:
+            generation = catalog_generation(self.db.catalog)
+            plan, outcome = self.plan_cache.get_or_plan(
+                sql, generation, self.db.plan
+            )
+            if self.plan_cache.capacity <= 0:
+                outcome = "off"
+            with self.meter.scoped():
+                if config.workers > 1:
+                    with self._parallel_mutex:
+                        result = self.db.execute(
+                            plan, config, limits=limits, obs=bundle
+                        )
+                else:
+                    result = self.db.execute(
+                        plan, config, limits=limits, obs=bundle
+                    )
+        except BaseException as error:
+            self.recorder.finish_query(
+                bundle,
+                sql=sql,
+                config=config,
+                outcome=self._classify(error, limits),
+                error=error,
+                wall_ms=(time.perf_counter() - started) * 1000.0,
+                **context,
+            )
+            raise
+        record = self.recorder.finish_query(
+            bundle, result, sql=sql, config=config, **context
         )
-        if self.plan_cache.capacity <= 0:
-            outcome = "off"
-        with self.meter.scoped():
-            if config.workers > 1:
-                with self._parallel_mutex:
-                    result = self.db.execute(plan, config, limits=limits)
-            else:
-                result = self.db.execute(plan, config, limits=limits)
         return EngineResult(
             rows=result.rows,
             work_units=result.stats.total_work,
@@ -136,6 +200,10 @@ class DatabaseEngine:
             degraded=result.stats.degraded,
             workers=result.stats.workers,
             plan_cache=outcome,
+            query_id=record.query_id,
+            slow=record.slow,
+            probe_cache_hits=result.stats.work.probe_cache_hits,
+            probe_cache_misses=result.stats.work.probe_cache_misses,
         )
 
 
@@ -255,6 +323,12 @@ class QueryServer:
         for writer in list(self._writers.values()):
             with contextlib.suppress(Exception):
                 writer.close()
+        # Finalize the telemetry store's active segment so a drained
+        # server leaves only complete ``.jsonl`` segments behind.
+        recorder = getattr(self.engine, "recorder", None)
+        if recorder is not None:
+            with contextlib.suppress(Exception):
+                recorder.close()
         self._done.set()
 
     # -- connection handling -------------------------------------------
@@ -331,6 +405,9 @@ class QueryServer:
             await send(
                 {"id": request_id, "status": "ok", "stats": self.stats_payload()}
             )
+            return
+        if op == "telemetry":
+            await send(self._telemetry_response(request_id, msg))
             return
         if op != "query":
             self.protocol_errors += 1
@@ -417,28 +494,54 @@ class QueryServer:
         session.in_flight.add(pending.token)
         queued_ms = (time.perf_counter() - pending.enqueued_at) * 1000.0
         outcome = "ok"
+        # The real engine records a flight record per query; give it the
+        # serving context (session, shed rung, queue wait). Test doubles
+        # without a recorder keep the plain 3-argument call.
+        kwargs = (
+            {
+                "context": {
+                    "session": session.name,
+                    "shed": shed,
+                    "queued_ms": round(queued_ms, 3),
+                }
+            }
+            if getattr(self.engine, "recorder", None) is not None
+            else {}
+        )
         try:
             result = await asyncio.to_thread(
-                self.engine.execute, request.sql, applied, limits
+                self.engine.execute, request.sql, applied, limits, **kwargs
             )
-            payload = ok_response(
-                request.request_id,
-                result.rows,
-                {
-                    "work_units": round(result.work_units, 3),
-                    "wall_ms": round(result.wall_ms, 3),
-                    "queued_ms": round(queued_ms, 3),
-                    "switches": result.switches,
-                    "degraded": result.degraded,
-                    "mode": applied.mode.value,
-                    "workers": result.workers,
-                    "shed": shed,
-                    "plan_cache": result.plan_cache,
-                },
-            )
+            stats = {
+                "work_units": round(result.work_units, 3),
+                "wall_ms": round(result.wall_ms, 3),
+                "queued_ms": round(queued_ms, 3),
+                "switches": result.switches,
+                "degraded": result.degraded,
+                "mode": applied.mode.value,
+                "workers": result.workers,
+                "shed": shed,
+                "plan_cache": result.plan_cache,
+            }
+            query_id = getattr(result, "query_id", None)
+            if query_id is not None:
+                stats["query_id"] = query_id
+            payload = ok_response(request.request_id, result.rows, stats)
             self.metrics.counter("server_rows_returned_total").inc(
                 amount=len(result.rows)
             )
+            if getattr(result, "slow", False):
+                self.metrics.counter("server_slow_queries_total").inc()
+            hits = getattr(result, "probe_cache_hits", 0)
+            misses = getattr(result, "probe_cache_misses", 0)
+            if hits:
+                self.metrics.counter("server_probe_cache_hits_total").inc(
+                    amount=hits
+                )
+            if misses:
+                self.metrics.counter("server_probe_cache_misses_total").inc(
+                    amount=misses
+                )
         except BudgetExceeded as error:
             if pending.token.cancelled:
                 outcome = "cancelled"
@@ -488,6 +591,73 @@ class QueryServer:
         if send is not None:
             await send(payload)
 
+    # -- telemetry -------------------------------------------------------
+    def _telemetry_response(self, request_id: Any, msg: dict) -> dict:
+        """The ``telemetry`` op: flight-record summaries or exposition.
+
+        ``format: "prometheus"`` returns the server metrics registry in
+        Prometheus text exposition; the default JSON form returns recorder
+        counters plus bounded summaries of the recent and slow rings.
+        """
+        if msg.get("format") == "prometheus":
+            return {
+                "id": request_id,
+                "status": "ok",
+                "exposition": self.metrics.render_prometheus(),
+            }
+        recorder = getattr(self.engine, "recorder", None)
+        if recorder is None:
+            return error_response(
+                request_id, ErrorCode.BAD_REQUEST, "engine has no flight recorder"
+            )
+        limit = msg.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
+        ):
+            return error_response(
+                request_id, ErrorCode.BAD_REQUEST, "limit must be an int >= 1"
+            )
+        limit = limit or 20
+
+        def summary(record) -> dict:
+            return {
+                "query_id": record.query_id,
+                "ts": record.ts,
+                "template": record.template,
+                "outcome": record.outcome,
+                "wall_ms": round(record.wall_ms, 3),
+                "work_units": round(record.work_units, 3),
+                "rows": record.rows,
+                "adaptations": record.adaptations,
+                "decisions": len(record.decisions),
+                "slow": record.slow,
+                "session": record.session,
+                "shed": record.shed,
+            }
+
+        store = recorder.store
+        return {
+            "id": request_id,
+            "status": "ok",
+            "telemetry": {
+                "recorded_total": recorder.recorded_total,
+                "slow_total": recorder.slow_total,
+                "slow_query_ms": recorder.slow_query_ms,
+                "store": (
+                    {
+                        "directory": store.directory,
+                        "segments": len(store.segment_paths()),
+                        "appended_total": store.appended_total,
+                        "rotations_total": store.rotations_total,
+                    }
+                    if store is not None
+                    else None
+                ),
+                "recent": [summary(r) for r in recorder.recent(limit)],
+                "slow": [summary(r) for r in recorder.slow_queries(limit)],
+            },
+        }
+
     # -- stats -----------------------------------------------------------
     def stats_payload(self) -> dict:
         """The live ``stats`` document (see scripts/validate_stats.py)."""
@@ -500,6 +670,8 @@ class QueryServer:
         self.metrics.gauge("server_queue_depth").set(admission.queued)
         self.metrics.gauge("server_in_flight").set(admission.in_flight)
         plan_cache = getattr(self.engine, "plan_cache", None)
+        recorder = getattr(self.engine, "recorder", None)
+        slow_counter = self.metrics.counter("server_slow_queries_total")
         return {
             "server": {
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -548,4 +720,37 @@ class QueryServer:
                     "invalidations": 0,
                 }
             ),
+            "telemetry": {
+                "recorded_total": (
+                    recorder.recorded_total if recorder is not None else 0
+                ),
+                "slow_total": (
+                    recorder.slow_total if recorder is not None else 0
+                ),
+                "slow_queries_total": slow_counter.total,
+                "probe_cache_hits_total": self.metrics.counter(
+                    "server_probe_cache_hits_total"
+                ).total,
+                "probe_cache_misses_total": self.metrics.counter(
+                    "server_probe_cache_misses_total"
+                ).total,
+                "store_segments": (
+                    len(recorder.store.segment_paths())
+                    if recorder is not None and recorder.store is not None
+                    else 0
+                ),
+            },
+            "per_session": [
+                {
+                    "session": session.name,
+                    "submitted": session.submitted,
+                    "completed": session.completed,
+                    "rejected": session.rejected,
+                    "queued": len(session.queue),
+                    "in_flight": len(session.in_flight),
+                }
+                for session in sorted(
+                    self.sessions.values(), key=lambda s: s.session_id
+                )
+            ],
         }

@@ -86,6 +86,26 @@ class TestArmedObservabilityIsPassive:
         assert armed.trace is obs.tracer
         assert armed.metrics is obs.metrics
 
+    def test_armed_recorder_charges_identical_work(self, dmv_db, workload):
+        """The flight recorder's audit bundle is cold and meter-free."""
+        from repro.obs.recorder import FlightRecorder
+
+        config = AdaptiveConfig(mode=ReorderMode.BOTH)
+        recorder = FlightRecorder()
+        for query in workload:
+            baseline = dmv_db.execute(query.sql, config)
+            bundle = recorder.arm(config)
+            assert not bundle.hot
+            recorded = dmv_db.execute(query.sql, config, obs=bundle)
+            recorder.finish_query(
+                bundle, recorded, sql=query.sql, config=config
+            )
+            assert _work_fields(recorded.stats) == _work_fields(
+                baseline.stats
+            ), f"{query.qid}: armed recorder changed the meter"
+            assert Multiset(recorded.rows) == Multiset(baseline.rows)
+        assert recorder.recorded_total == len(workload)
+
     def test_wall_clock_overhead_is_bounded(self, dmv_db, workload):
         """Armed observability costs wall time, but not pathologically.
 
