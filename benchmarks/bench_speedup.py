@@ -15,6 +15,18 @@ alike instead of biasing whichever ran last. Every variant's result rows are
 checked against scalar's per query — a speedup that changes answers must
 fail loudly, not report numbers.
 
+Each variant records the executor configuration it ran under (``config``),
+and the probe-cache counters appear only for variants that actually arm a
+cache — an uncached variant *has* no cache, so it reports nothing rather
+than a misleading ``probe_cache_hits: 0``.
+
+The ``backends`` section re-runs the same variants against the **columnar**
+storage backend (same data, same RIDs) and reports each variant's speedup
+over the *row scalar* baseline of the same mode — the headline numbers of
+the columnar backend. Columnar result rows are verified against the row
+backend's per query, so the cross-backend speedups are for bit-identical
+answers.
+
 A second section sweeps ``workers`` in {1, 2, 4} over a *scan-heavy*
 workload (driving legs with thousands of entries — the six-table templates
 drive from the 200-row Location table, where single hot entries bound any
@@ -113,20 +125,46 @@ def build_variants(
     }
 
 
-def measure_mode(db, queries, variants, reps: int) -> dict[str, dict]:
-    """Min-of-reps wall seconds per variant, with result verification."""
+def variant_config_summary(config: AdaptiveConfig) -> dict:
+    """The executor knobs a variant ran under, for the JSON record."""
+    return {
+        "batched": config.batched,
+        "batch_size": config.batch_size if config.batched else None,
+        "probe_cache_size": config.probe_cache_size,
+        "monitor_granularity": (
+            config.monitor_granularity if config.batched else None
+        ),
+    }
+
+
+def measure_mode(
+    db, queries, variants, reps: int, reference: dict[str, list] | None = None
+) -> dict[str, dict]:
+    """Min-of-reps wall seconds per variant, with result verification.
+
+    *reference* maps qid -> sorted rows; pass a populated dict to verify
+    against another measurement's answers (the cross-backend check), or
+    leave None to verify variants against each other only.
+
+    Probe-cache counters are recorded only for variants whose config arms
+    a cache (``probe_cache_size > 0``); other variants have no cache, so
+    the keys are absent rather than zero.
+    """
     best = {name: float("inf") for name in variants}
     meters: dict[str, dict] = {name: {} for name in variants}
-    reference: dict[str, list] = {}
+    if reference is None:
+        reference = {}
     for rep in range(reps):
         for name, config in variants.items():
+            arms_cache = config.probe_cache_size > 0
             total = 0.0
             hits = misses = 0
             for query in queries:
                 outcome = db.execute(query.sql, config)
                 total += outcome.stats.wall_seconds
-                hits += outcome.stats.work.probe_cache_hits
-                misses += outcome.stats.work.probe_cache_misses
+                if arms_cache:
+                    hits += outcome.stats.work.probe_cache_hits
+                    misses += outcome.stats.work.probe_cache_misses
                 if rep == 0:
                     rows = sorted(outcome.rows)
                     expected = reference.setdefault(query.qid, rows)
@@ -138,9 +176,11 @@ def measure_mode(db, queries, variants, reps: int) -> dict[str, dict]:
                 best[name] = total
                 meters[name] = {
                     "wall_seconds": total,
-                    "probe_cache_hits": hits,
-                    "probe_cache_misses": misses,
+                    "config": variant_config_summary(config),
                 }
+                if arms_cache:
+                    meters[name]["probe_cache_hits"] = hits
+                    meters[name]["probe_cache_misses"] = misses
     return meters
 
 
@@ -278,6 +318,21 @@ def report_regressions(output_path: str, payload: dict) -> list[str]:
                     f"REGRESSION: mode {mode} variant {variant} speedup "
                     f"{new:.2f}x < stored baseline {old:.2f}x"
                 )
+    for backend, backend_entry in payload.get("backends", {}).items():
+        old_backend = baseline.get("backends", {}).get(backend, {})
+        for mode, meters in backend_entry.get("modes", {}).items():
+            old_meters = old_backend.get("modes", {}).get(mode, {})
+            for variant, data in meters.items():
+                new = data.get("speedup_vs_row_scalar")
+                old = old_meters.get(variant, {}).get("speedup_vs_row_scalar")
+                if new is None or old is None:
+                    continue
+                if new < old * REGRESSION_TOLERANCE:
+                    lines.append(
+                        f"REGRESSION: backend {backend} mode {mode} variant "
+                        f"{variant} speedup {new:.2f}x < stored baseline "
+                        f"{old:.2f}x"
+                    )
     for mode, entry in payload.get("parallel", {}).items():
         old_entry = baseline.get("parallel", {}).get(mode, {})
         for workers, data in entry.get("sweep", {}).items():
@@ -345,6 +400,9 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     db, summary = load_dmv(scale=args.scale, extended=True)
+    columnar_db, _ = load_dmv(
+        scale=args.scale, extended=True, backend="columnar"
+    )
     queries = six_table_workload(count=args.count)
 
     modes = [ReorderMode.NONE]
@@ -360,11 +418,13 @@ def main(argv: list[str] | None = None) -> int:
         "batch_size": args.batch_size,
         "cache_size": args.cache_size,
         "modes": {},
+        "backends": {"columnar": {"modes": {}}},
     }
     check_failed = False
     for mode in modes:
         variants = build_variants(mode, args.batch_size, args.cache_size)
-        meters = measure_mode(db, queries, variants, args.reps)
+        reference: dict[str, list] = {}
+        meters = measure_mode(db, queries, variants, args.reps, reference)
         scalar = meters["scalar"]["wall_seconds"]
         batched = meters["batched"]["wall_seconds"]
         cached = meters["cached"]["wall_seconds"]
@@ -378,6 +438,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         if mode is ReorderMode.NONE and batched > scalar * CHECK_TOLERANCE:
             check_failed = True
+
+        # Columnar backend: same variants, same queries, answers verified
+        # against the row backend's (the shared *reference*); speedups are
+        # vs the row scalar baseline measured above.
+        col_meters = measure_mode(
+            columnar_db, queries, variants, args.reps, reference
+        )
+        for name in col_meters:
+            col_meters[name]["speedup_vs_row_scalar"] = (
+                scalar / col_meters[name]["wall_seconds"]
+            )
+        payload["backends"]["columnar"]["modes"][mode.name.lower()] = col_meters
+        col_batched = col_meters["batched"]["wall_seconds"]
+        col_cached = col_meters["cached"]["wall_seconds"]
+        print(
+            f"{mode.name.lower():8s} columnar "
+            f"scalar={col_meters['scalar']['wall_seconds']:.3f}s "
+            f"({scalar / col_meters['scalar']['wall_seconds']:.2f}x) "
+            f"batched={col_batched:.3f}s ({scalar / col_batched:.2f}x) "
+            f"cached={col_cached:.3f}s ({scalar / col_cached:.2f}x)"
+        )
 
     # The recorder's true overhead (a tuple append per kept check) sits
     # well under the scheduler-noise floor of a single pass, so the
@@ -416,10 +497,18 @@ def main(argv: list[str] | None = None) -> int:
     regressions = report_regressions(args.output, payload)
     for line in regressions:
         print(line, file=sys.stderr)
+    # The columnar backend's static speedup is a hard perf contract: under
+    # --check, falling below the stored baseline fails the run (other
+    # regressions stay report-only — wall-clock noise on shared runners).
+    columnar_regressed = any(
+        line.startswith("REGRESSION: backend columnar mode none")
+        for line in regressions
+    )
 
     write_json_atomic(args.output, payload)
     print(f"wrote {args.output}")
     db.close()
+    columnar_db.close()
     if args.check and check_failed:
         print(
             f"CHECK FAILED: batched path slower than scalar by more than "
@@ -432,6 +521,13 @@ def main(argv: list[str] | None = None) -> int:
             f"CHECK FAILED: armed flight recorder costs "
             f"{observability['overhead_pct']:.1f}% wall "
             f"(> {OBSERVABILITY_GATE_PCT:.0f}% budget)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and columnar_regressed:
+        print(
+            "CHECK FAILED: columnar mode-none speedup regressed below the "
+            "stored baseline",
             file=sys.stderr,
         )
         return 1

@@ -5,17 +5,20 @@ Connects to a live server (start one with ``python -m repro serve``),
 issues ``{"op": "stats"}``, and checks the response document:
 
 * top-level sections ``server``, ``admission``, ``latency_ms``,
-  ``queries``, ``plan_cache``, ``telemetry`` all present, each an object
-  with exactly the documented keys; ``per_session`` is a list with one
-  counter object per connected session;
+  ``queries``, ``plan_cache``, ``telemetry``, ``storage`` all present,
+  each an object with exactly the documented keys; ``per_session`` is a
+  list with one counter object per connected session and ``per_table``
+  a list with one footprint object per catalog table;
 * types: counters are non-negative numbers, ``draining`` is a bool,
   quantiles are numbers or null;
 * invariants: ``in_flight <= max_concurrency``,
   ``queue_depth <= max_queue_depth``, latency quantiles are
   monotonically non-decreasing (p50 <= p95 <= p99) when present,
-  plan-cache ``size <= capacity`` (when capacity > 0), and the latency
+  plan-cache ``size <= capacity`` (when capacity > 0), the latency
   histogram ``count`` is at least the number of completed queries'
-  outcomes recorded.
+  outcomes recorded, ``storage.total_bytes`` equals the sum of the
+  per-table bytes, and ``storage.table_count`` equals the number of
+  ``per_table`` entries (each of which names the same backend).
 
 Usage::
 
@@ -85,6 +88,11 @@ SCHEMA = {
         "probe_cache_misses_total": "count",
         "store_segments": "count",
     },
+    "storage": {
+        "backend": "string",
+        "total_bytes": "count",
+        "table_count": "count",
+    },
 }
 
 #: Sections whose body is a list of objects (one entry per item).
@@ -96,6 +104,12 @@ LIST_SCHEMA = {
         "rejected": "count",
         "queued": "count",
         "in_flight": "count",
+    },
+    "per_table": {
+        "table": "string",
+        "backend": "string",
+        "rows": "count",
+        "bytes": "count",
     },
 }
 
@@ -214,11 +228,33 @@ def validate(stats: dict) -> list[str]:
             "telemetry.slow_total exceeds recorded_total "
             f"({telemetry['slow_total']} > {telemetry['recorded_total']})"
         )
+    storage = stats["storage"]
+    per_table = stats["per_table"]
+    table_bytes = sum(entry["bytes"] for entry in per_table)
+    if storage["total_bytes"] != table_bytes:
+        raise ValidationError(
+            f"storage.total_bytes {storage['total_bytes']} != sum of "
+            f"per_table bytes {table_bytes}"
+        )
+    if storage["table_count"] != len(per_table):
+        raise ValidationError(
+            f"storage.table_count {storage['table_count']} != "
+            f"{len(per_table)} per_table entries"
+        )
+    for entry in per_table:
+        if entry["backend"] != storage["backend"]:
+            raise ValidationError(
+                f"per_table entry {entry['table']!r} backend "
+                f"{entry['backend']!r} != storage.backend "
+                f"{storage['backend']!r}"
+            )
     return [
         f"uptime {stats['server']['uptime_s']}s",
         f"{int(outcomes)} queries",
         f"{int(admission['accepted_total'])} accepted",
         f"cache {int(cache['hits'])}h/{int(cache['misses'])}m",
+        f"storage {storage['backend']} {int(storage['total_bytes']):,}B"
+        f"/{int(storage['table_count'])} tables",
     ]
 
 

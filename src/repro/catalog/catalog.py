@@ -15,6 +15,7 @@ from repro.catalog.statistics import (
     collect_table_stats,
 )
 from repro.errors import CatalogError
+from repro.storage.backend import StorageBackend, get_backend
 from repro.storage.counters import WorkMeter
 from repro.storage.index import SortedIndex
 from repro.storage.schema import Column, TableSchema
@@ -24,8 +25,13 @@ from repro.storage.table import HeapTable
 class Catalog:
     """Registry of tables, their indexes, and their statistics."""
 
-    def __init__(self, meter: WorkMeter | None = None) -> None:
+    def __init__(
+        self,
+        meter: WorkMeter | None = None,
+        backend: str | StorageBackend = "row",
+    ) -> None:
         self.meter = meter if meter is not None else WorkMeter()
+        self.backend = get_backend(backend)
         self._tables: dict[str, HeapTable] = {}
         self._indexes: dict[str, dict[str, SortedIndex]] = {}
         self._stats: dict[str, TableStats] = {}
@@ -36,7 +42,7 @@ class Catalog:
     def create_table(self, name: str, columns: Sequence[Column]) -> HeapTable:
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        table = HeapTable(TableSchema(name, columns), meter=self.meter)
+        table = self.backend.make_table(TableSchema(name, columns), self.meter)
         self._tables[name] = table
         self._indexes[name] = {}
         return table
@@ -47,7 +53,9 @@ class Catalog:
         per_table = self._indexes[table_name]
         if column in per_table:
             return per_table[column]
-        index = SortedIndex(f"ix_{table_name}_{column}", table, column)
+        index = self.backend.make_index(
+            f"ix_{table_name}_{column}", table, column
+        )
         per_table[column] = index
         return index
 

@@ -5,6 +5,7 @@ Subcommands
 ``generate``    build the synthetic DMV data set and print its Table 1
 ``query``       run one SQL statement against a DMV database, comparing
                 static and adaptive execution
+``stats``       per-table storage footprint of a DMV database
 ``shell``       interactive SQL shell over a DMV database
 ``serve``       concurrent multi-client query server (NDJSON over TCP)
 ``replay``      reconstruct a recorded query's adaptation timeline offline
@@ -16,6 +17,8 @@ Examples::
     python -m repro generate --scale 0.05
     python -m repro serve --scale 0.05 --port 7654 --telemetry-dir telem/
     python -m repro query --scale 0.05 "SELECT COUNT(*) FROM Car c WHERE c.make = 'Mazda'"
+    python -m repro query --scale 0.05 --backend columnar --batch-size 256 "SELECT ..."
+    python -m repro stats --scale 0.05 --backend columnar
     python -m repro query --scale 0.02 --extended --telemetry-dir telem/ "SELECT ..."
     python -m repro replay --telemetry-dir telem/ --latest
     python -m repro replay --telemetry-dir telem/ --diff q-...-1 q-...-2
@@ -58,6 +61,13 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         "--extended",
         action="store_true",
         help="include the Location/Time extension tables (Sec 5.5)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["row", "columnar"],
+        default="row",
+        help="storage backend: reference row store or typed columnar "
+        "arrays with compiled predicates (default: row)",
     )
 
 
@@ -171,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     shell = commands.add_parser("shell", help="interactive SQL shell")
     _add_scale(shell)
+
+    stats = commands.add_parser(
+        "stats",
+        help="per-table storage footprint of a DMV database",
+    )
+    _add_scale(stats)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the storage-stats payload as JSON instead of the table",
+    )
+    stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the storage gauges in metrics-registry form",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -341,9 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load(args) -> Database:
     started = time.perf_counter()
-    db, summary = load_dmv(scale=args.scale, seed=args.seed, extended=args.extended)
+    backend = getattr(args, "backend", "row")
+    db, summary = load_dmv(
+        scale=args.scale,
+        seed=args.seed,
+        extended=args.extended,
+        backend=backend,
+    )
     elapsed = time.perf_counter() - started
-    print(f"loaded DMV at scale {args.scale} in {elapsed:.1f}s:", file=sys.stderr)
+    print(
+        f"loaded DMV at scale {args.scale} ({backend} backend) "
+        f"in {elapsed:.1f}s:",
+        file=sys.stderr,
+    )
     for name, count in summary.as_rows():
         print(f"  {name:14s} {count:10,d} rows", file=sys.stderr)
     return db
@@ -539,7 +575,12 @@ def _run_observed_query(
 
 
 def cmd_generate(args) -> int:
-    _, summary = load_dmv(scale=args.scale, seed=args.seed, extended=args.extended)
+    _, summary = load_dmv(
+        scale=args.scale,
+        seed=args.seed,
+        extended=args.extended,
+        backend=args.backend,
+    )
     print(table1_experiment(summary, args.scale).report())
     return 0
 
@@ -586,6 +627,35 @@ def cmd_query(args) -> int:
         fault_plan=fault_plan,
         cli_args=args,
     )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from repro.obs.metrics import MetricsRegistry, record_storage_gauges
+
+    db = _load(args)
+    storage = db.storage_stats()
+    if args.json:
+        print(json.dumps(storage, indent=2))
+    else:
+        print(f"backend: {storage['backend']}")
+        print(f"{'table':14s} {'rows':>10s} {'bytes':>14s}")
+        for entry in storage["per_table"]:
+            print(
+                f"{entry['table']:14s} {entry['rows']:10,d} "
+                f"{entry['bytes']:14,d}"
+            )
+        print(
+            f"{'total':14s} {'':>10s} {storage['total_bytes']:14,d} "
+            f"({storage['table_count']} tables)"
+        )
+    if args.metrics:
+        registry = MetricsRegistry()
+        record_storage_gauges(registry, storage)
+        print("\nmetrics:")
+        print(registry.render())
     return 0
 
 
@@ -730,12 +800,20 @@ def cmd_telemetry(args) -> int:
 def cmd_experiment(args) -> int:
     if args.name == "table1":
         _, summary = load_dmv(
-            scale=args.scale, seed=args.seed, extended=args.extended
+            scale=args.scale,
+            seed=args.seed,
+            extended=args.extended,
+            backend=args.backend,
         )
         print(table1_experiment(summary, args.scale).report())
         return 0
     if args.name == "fig11":
-        db, _ = load_dmv(scale=args.scale, seed=args.seed, extended=True)
+        db, _ = load_dmv(
+            scale=args.scale,
+            seed=args.seed,
+            extended=True,
+            backend=args.backend,
+        )
         workload = six_table_workload(count=max(args.queries * 2, 10))
         print(scatter_experiment(db, workload).report("Fig 11 — six-table joins"))
         return 0
@@ -765,6 +843,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate": cmd_generate,
         "query": cmd_query,
+        "stats": cmd_stats,
         "shell": cmd_shell,
         "serve": cmd_serve,
         "replay": cmd_replay,

@@ -254,86 +254,105 @@ class RuntimeModelBuilder:
         value instead of being recomputed.
         """
         pipeline = self.pipeline
-        builder = self
-        warmup = self.config.warmup_rows
-        hash_probes = (
+        models = _LazyModels()
+        models._builder = self
+        models._warmup = self.config.warmup_rows
+        models._hash_probes = (
             pipeline.config.hash_probe_policy is not HashProbePolicy.OFF
         )
-        legs = pipeline.legs
-        order = pipeline.order
-        position_of = {alias: i for i, alias in enumerate(order)}
-
-        class _LazyModels(dict):
-            def __missing__(self, alias: str) -> TableModel:
-                leg = legs[alias]
-                plan_leg = leg.plan_leg
-                sel_index, sel_residual = builder._local_selectivities(alias)
-                model = TableModel(
-                    alias=alias,
-                    base_cardinality=leg.base_cardinality,
-                    sel_local_index=sel_index,
-                    sel_local_residual=sel_residual,
-                    local_predicate_count=len(plan_leg.local_predicates),
-                    indexed_columns=frozenset(leg.indexes),
-                    driving_kind=plan_leg.driving.kind,
-                    driving_range_count=max(len(plan_leg.driving.ranges), 1),
-                    remaining_fraction=builder._remaining_fraction(alias),
-                    hash_probes=hash_probes,
-                )
-                position = position_of.get(alias, 0)
-                if (
-                    position == 0
-                    or leg.monitor.lifetime_incoming < warmup
-                ):
-                    self[alias] = model
-                    return model
-                jc_measured = leg.monitor.join_cardinality()
-                pc_measured = leg.monitor.probe_cost()
-                # Evaluate the uncalibrated model at the leg's current
-                # position (the model must be visible to inner_params).
-                self[alias] = model
-                bound = frozenset(order[:position])
-                jc_model, pc_model = provider.inner_params(alias, bound)
-                jc_correction = 1.0
-                pc_correction = 1.0
-                if jc_measured is not None and jc_model > 0:
-                    jc_correction = _clamp(
-                        jc_measured / jc_model,
-                        _CORRECTION_FLOOR,
-                        _CORRECTION_CEIL,
-                    )
-                if pc_measured is not None and pc_model > 0:
-                    pc_correction = _clamp(
-                        pc_measured / pc_model,
-                        _CORRECTION_FLOOR,
-                        _CORRECTION_CEIL,
-                    )
-                if jc_correction == 1.0 and pc_correction == 1.0:
-                    return model
-                calibrated = TableModel(
-                    alias=model.alias,
-                    base_cardinality=model.base_cardinality,
-                    sel_local_index=model.sel_local_index,
-                    sel_local_residual=model.sel_local_residual,
-                    local_predicate_count=model.local_predicate_count,
-                    indexed_columns=model.indexed_columns,
-                    driving_kind=model.driving_kind,
-                    driving_range_count=model.driving_range_count,
-                    remaining_fraction=model.remaining_fraction,
-                    jc_correction=jc_correction,
-                    pc_correction=pc_correction,
-                    hash_probes=model.hash_probes,
-                )
-                self[alias] = calibrated
-                # Replace the uncalibrated memo entry with the corrected
-                # value (exact: the correction multiplies last).
-                provider._inner_cache[(alias, bound)] = (
-                    jc_model * jc_correction,
-                    pc_model * pc_correction,
-                )
-                return calibrated
-
+        models._legs = pipeline.legs
+        models._order = pipeline.order
+        models._position_of = {
+            alias: i for i, alias in enumerate(pipeline.order)
+        }
         provider = ModelProvider(
-            _LazyModels(), pipeline.class_selectivities, pipeline.join_graph
+            models, pipeline.class_selectivities, pipeline.join_graph
         )
+        models._provider = provider
         return provider
+
+
+class _LazyModels(dict):
+    """Per-alias :class:`TableModel` cache behind a :class:`ModelProvider`.
+
+    Defined at module level (rather than a closure inside
+    ``build_provider``) so a reorder check does not pay for rebuilding the
+    class object; ``build_provider`` binds the snapshot context onto the
+    instance instead.
+    """
+
+    _builder: "RuntimeModelBuilder"
+    _provider: ModelProvider
+    _warmup: int
+    _hash_probes: bool
+
+    def __missing__(self, alias: str) -> TableModel:
+        builder = self._builder
+        leg = self._legs[alias]
+        plan_leg = leg.plan_leg
+        sel_index, sel_residual = builder._local_selectivities(alias)
+        model = TableModel(
+            alias=alias,
+            base_cardinality=leg.base_cardinality,
+            sel_local_index=sel_index,
+            sel_local_residual=sel_residual,
+            local_predicate_count=len(plan_leg.local_predicates),
+            indexed_columns=frozenset(leg.indexes),
+            driving_kind=plan_leg.driving.kind,
+            driving_range_count=max(len(plan_leg.driving.ranges), 1),
+            remaining_fraction=builder._remaining_fraction(alias),
+            hash_probes=self._hash_probes,
+        )
+        position = self._position_of.get(alias, 0)
+        if (
+            position == 0
+            or leg.monitor.lifetime_incoming < self._warmup
+        ):
+            self[alias] = model
+            return model
+        jc_measured = leg.monitor.join_cardinality()
+        pc_measured = leg.monitor.probe_cost()
+        # Evaluate the uncalibrated model at the leg's current
+        # position (the model must be visible to inner_params).
+        self[alias] = model
+        provider = self._provider
+        bound = frozenset(self._order[:position])
+        jc_model, pc_model = provider.inner_params(alias, bound)
+        jc_correction = 1.0
+        pc_correction = 1.0
+        if jc_measured is not None and jc_model > 0:
+            jc_correction = _clamp(
+                jc_measured / jc_model,
+                _CORRECTION_FLOOR,
+                _CORRECTION_CEIL,
+            )
+        if pc_measured is not None and pc_model > 0:
+            pc_correction = _clamp(
+                pc_measured / pc_model,
+                _CORRECTION_FLOOR,
+                _CORRECTION_CEIL,
+            )
+        if jc_correction == 1.0 and pc_correction == 1.0:
+            return model
+        calibrated = TableModel(
+            alias=model.alias,
+            base_cardinality=model.base_cardinality,
+            sel_local_index=model.sel_local_index,
+            sel_local_residual=model.sel_local_residual,
+            local_predicate_count=model.local_predicate_count,
+            indexed_columns=model.indexed_columns,
+            driving_kind=model.driving_kind,
+            driving_range_count=model.driving_range_count,
+            remaining_fraction=model.remaining_fraction,
+            jc_correction=jc_correction,
+            pc_correction=pc_correction,
+            hash_probes=model.hash_probes,
+        )
+        self[alias] = calibrated
+        # Replace the uncalibrated memo entry with the corrected
+        # value (exact: the correction multiplies last).
+        provider._inner_cache[(alias, bound)] = (
+            jc_model * jc_correction,
+            pc_model * pc_correction,
+        )
+        return calibrated

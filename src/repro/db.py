@@ -154,11 +154,47 @@ class QueryResult:
 class Database:
     """An embedded in-memory database exposing the reproduction's API."""
 
-    def __init__(self) -> None:
-        self.catalog = Catalog()
+    def __init__(self, backend: str = "row") -> None:
+        self.catalog = Catalog(backend=backend)
         # Persistent fork pool for parallel partitioned execution; built on
         # first use, invalidated when the catalog generation changes.
         self._parallel_pool = None
+
+    @property
+    def backend_name(self) -> str:
+        return self.catalog.backend.name
+
+    def storage_stats(self) -> dict:
+        """Per-table memory footprint of the active backend.
+
+        Returns ``{"backend", "total_bytes", "table_count", "per_table"}``
+        where each per-table entry reports the approximate resident bytes
+        of that table's storage (typed column arrays for ``columnar``, row
+        tuples + cells for ``row``) — the observable half of the columnar
+        backend's memory savings.
+        """
+        from repro.storage.columnar import table_memory_footprint
+
+        backend = self.backend_name
+        per_table = []
+        total = 0
+        for name in self.catalog.table_names():
+            footprint = table_memory_footprint(self.catalog.table(name))
+            total += footprint["bytes"]
+            per_table.append(
+                {
+                    "table": name,
+                    "backend": backend,
+                    "rows": footprint["rows"],
+                    "bytes": footprint["bytes"],
+                }
+            )
+        return {
+            "backend": backend,
+            "total_bytes": total,
+            "table_count": len(per_table),
+            "per_table": per_table,
+        }
 
     # -- schema & data ----------------------------------------------------
     def create_table(self, name: str, columns: Sequence[ColumnSpec]) -> None:

@@ -293,15 +293,17 @@ def load_dmv(
     seed: int = 20070426,
     extended: bool = False,
     stats: StatisticsLevel = StatisticsLevel.CARDINALITY,
+    backend: str = "row",
 ) -> tuple[Database, DmvSummary]:
     """Build a fresh DMV database; the one-call entry point for experiments.
 
     *stats* selects the optimizer-statistics level. The default mirrors the
     paper's main setting (Sec 5: table sizes only, uniformity assumed);
     ``StatisticsLevel.DETAILED`` reproduces the Sec 5.3 "sophisticated
-    statistics" ablation.
+    statistics" ablation. *backend* selects the storage layout
+    (``row`` | ``columnar``); identical data and RIDs either way.
     """
-    db = Database()
+    db = Database(backend=backend)
     summary = DmvGenerator(scale=scale, seed=seed).populate(db, extended=extended)
     db.analyze(level=stats)
     return db, summary

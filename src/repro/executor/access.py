@@ -18,6 +18,7 @@ lives in the pipeline, and each row only pays the predicates themselves.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
@@ -30,6 +31,7 @@ from repro.robustness.faults import DEFAULT_RETRY_POLICY, RetryPolicy, call_with
 from repro.optimizer.plans import DrivingKind, PlanLeg
 from repro.query.joingraph import JoinPredicate
 from repro.query.predicates import PositionalPredicate
+from repro.storage.compiled import compile_row_test
 from repro.storage.counters import (
     INDEX_DESCEND_COST,
     INDEX_ENTRY_COST,
@@ -133,6 +135,7 @@ class RuntimeLeg:
         "_fast_groups",
         "_fast_scan_group",
         "_fast_groups_gen",
+        "_fast_probe_records",
     )
 
     def __init__(
@@ -156,11 +159,30 @@ class RuntimeLeg:
         self.positional: PositionalPredicate | None = None
         self._history_window = history_window
         # (predicate, compiled test) pairs; predicate objects kept for
-        # per-predicate monitoring and dynamic access-path selection.
-        self.local_tests = [
-            (predicate, predicate.bind(self.schema))
-            for predicate in plan_leg.local_predicates
-        ]
+        # per-predicate monitoring and dynamic access-path selection. On
+        # the columnar backend each test is the expression-compiled closure
+        # when the tree is a shape the mini-compiler handles; the row
+        # backend stays on the interpreter's bind() so it remains the
+        # unmodified reference oracle. Either way the test carries its
+        # source predicate as ``test.predicate`` so index-level group
+        # kernels can recover the tree for vectorization.
+        compiled_backend = (
+            getattr(self.table, "backend_name", "row") == "columnar"
+        )
+        self.local_tests = []
+        for predicate in plan_leg.local_predicates:
+            test = (
+                compile_row_test(predicate, self.schema)
+                if compiled_backend
+                else None
+            )
+            if test is None:
+                test = predicate.bind(self.schema)
+            try:
+                test.predicate = predicate
+            except AttributeError:  # non-function callable; still usable
+                pass
+            self.local_tests.append((predicate, test))
         # Per-local-predicate (evaluated, passed) counters for the
         # dynamic-access-path extension.
         self.local_counts = [[0, 0] for _ in self.local_tests]
@@ -206,6 +228,9 @@ class RuntimeLeg:
         self._fast_groups: dict = {}
         self._fast_scan_group: tuple | None = None
         self._fast_groups_gen: tuple | None = None
+        # key -> (assembled probe record, entries, fetches, evals) for the
+        # lean no-residual/no-cache miss loop; same generation as above.
+        self._fast_probe_records: dict = {}
 
     @property
     def base_cardinality(self) -> int:
@@ -765,7 +790,12 @@ class RuntimeLeg:
         gen = (self.probe_epoch, self.table.version, index.name)
         if self._turbo_groups_gen == gen:
             return self._turbo_groups
-        if self._turbo_rows_seen < len(index):
+        if self._turbo_rows_seen < len(index) and not getattr(
+            index, "prebuild_groups", False
+        ):
+            # Backends whose filtered_groups is a cached vectorized kernel
+            # (columnar) opt out of the break-even gate: the build is one
+            # whole-column pass, amortized across probes and generations.
             return None
         self._turbo_groups = index.filtered_groups(
             [test for _, test in self.local_tests]
@@ -1021,6 +1051,7 @@ class RuntimeLeg:
         if self._fast_groups_gen != gen:
             self._fast_groups = {}
             self._fast_scan_group = None
+            self._fast_probe_records = {}
             self._fast_groups_gen = gen
         groups = self._fast_groups
 
@@ -1040,7 +1071,26 @@ class RuntimeLeg:
         single_res = len(oval_specs) == 1
         if single_res:
             ovaries, ospec = oval_specs[0]
-        for i, outer in enumerate(outer_rows):
+        # Lean shape: no residual joins, no probe cache, indexed access. A
+        # key's full probe record is then a pure function of its memoized
+        # group, so the chunk needs only the key sequence — no per-row
+        # (i, key, ovals, ckey) tuples, no duplicate folding.
+        lean = index is not None and not residual and centries is None
+        keys_seq: list | None = None
+        key_set: set | None = None
+        if lean:
+            keys_seq = (
+                [outer[key_slot] for outer in outer_rows]
+                if key_varies
+                else [key_const] * n
+            )
+            key_set = set(keys_seq)
+            group_keys = [
+                key
+                for key in key_set
+                if key is not None and key not in groups
+            ]
+        for i, outer in () if lean else enumerate(outer_rows):
             key = outer[key_slot] if key_varies else key_const
             if single_res:
                 oval = outer[ospec] if ovaries else ospec
@@ -1077,13 +1127,24 @@ class RuntimeLeg:
                 group_keys.append(key)
 
         # Resolve candidate groups for keys not yet memoized: one merged
-        # descent over the index, then one filtering pass per new key.
+        # descent over the index, then one filtering pass per new key —
+        # or, when the backend offers vectorized per-key records
+        # (columnar), one kernel gather with identical eval accounting.
         if index is not None and group_keys:
-            raw = self.table.raw_rows()
-            for key, rids in index.lookup_rids_batch(group_keys).items():
-                groups[key] = self._fast_group_rows(
-                    [(rid, raw[rid]) for rid in rids]
-                )
+            build = getattr(index, "fast_group_records", None)
+            built = (
+                build(group_keys, self.local_tests, self.positional)
+                if build is not None
+                else None
+            )
+            if built is not None:
+                groups.update(built)
+            else:
+                raw = self.table.raw_rows()
+                for key, rids in index.lookup_rids_batch(group_keys).items():
+                    groups[key] = self._fast_group_rows(
+                        [(rid, raw[rid]) for rid in rids]
+                    )
         scan_group: tuple | None = None
         if index is None:
             scan_group = self._fast_scan_group
@@ -1097,6 +1158,81 @@ class RuntimeLeg:
         if one_residual:
             res_slot = residual[0][1]
         descends = entries = fetches = evals_total = 0
+        if lean:
+            # Lean miss loop: each key's full probe record — matches,
+            # count, work — is built once and the tuple shared across
+            # every probe of that key (record identity is safe: consumers
+            # only read record[0..3]). Work/meter sums are exact: every
+            # probe descends; entries/fetches/evals are per-key constants.
+            probe_records = self._fast_probe_records
+            descends = n
+            for key in key_set:
+                if key in probe_records:
+                    continue
+                if key is None:
+                    # Scalar lookup_rids(None): descend charged, no
+                    # entries — zero contribution to every other sum.
+                    probe_records[None] = (
+                        ([], 0, INDEX_DESCEND_COST, None),
+                        0,
+                        0,
+                        0,
+                        0,
+                    )
+                    continue
+                rows, base_evals, count, deltas = groups[key]
+                probe_entries = count if count else 1
+                work = (
+                    INDEX_DESCEND_COST
+                    + probe_entries * INDEX_ENTRY_COST
+                    + count * ROW_FETCH_COST
+                    + base_evals * PREDICATE_EVAL_COST
+                )
+                probe_records[key] = (
+                    (rows, count, work, deltas),
+                    probe_entries,
+                    count,
+                    base_evals,
+                    len(rows),
+                )
+            # Aggregate per DISTINCT key (duplicate probes of a key add
+            # identical integer contributions, so multiplying by the
+            # multiplicity is exact), including the per-predicate
+            # (evaluated, passed) deltas the epilogue folds into
+            # local_counts — that loop is per-record otherwise.
+            lean_output = 0
+            lean_deltas = (
+                [[0, 0] for _ in self.local_tests]
+                if self.local_tests
+                else None
+            )
+            if key_varies:
+                records = [probe_records[key][0] for key in keys_seq]
+                for key, mult in Counter(keys_seq).items():
+                    record, pe, pf, ev, nm = probe_records[key]
+                    entries += pe * mult
+                    fetches += pf * mult
+                    evals_total += ev * mult
+                    lean_output += nm * mult
+                    deltas = record[3]
+                    if lean_deltas is not None and deltas is not None:
+                        for slot, (evaluated, passed) in enumerate(deltas):
+                            pair = lean_deltas[slot]
+                            pair[0] += evaluated * mult
+                            pair[1] += passed * mult
+            else:
+                record, pe1, pf1, ev1, nm1 = probe_records[key_const]
+                records = [record] * n
+                entries = pe1 * n
+                fetches = pf1 * n
+                evals_total = ev1 * n
+                lean_output = nm1 * n
+                deltas = record[3]
+                if lean_deltas is not None and deltas is not None:
+                    for slot, (evaluated, passed) in enumerate(deltas):
+                        pair = lean_deltas[slot]
+                        pair[0] += evaluated * n
+                        pair[1] += passed * n
         for i, key, ovals, ckey in misses:
             if index is not None:
                 descends += 1
@@ -1170,29 +1306,50 @@ class RuntimeLeg:
         if defer:
             return records
         if aggregate:
-            sum_matches = 0
-            sum_output = 0
-            sum_work = 0.0
-            for record in records:
-                sum_matches += record[1]
-                sum_output += len(record[0])
-                sum_work += record[2]
-            self.monitor.window.observe_chunk(
-                n, sum_matches, sum_output, sum_work
-            )
+            if lean:
+                # Chunk sums fall out of the meter totals: every cost
+                # constant is an exact binary fraction, so this aggregate
+                # equals the per-record float sum bit for bit.
+                self.monitor.window.observe_chunk(
+                    n,
+                    fetches,
+                    lean_output,
+                    n * INDEX_DESCEND_COST
+                    + entries * INDEX_ENTRY_COST
+                    + fetches * ROW_FETCH_COST
+                    + evals_total * PREDICATE_EVAL_COST,
+                )
+            else:
+                sum_matches = 0
+                sum_output = 0
+                sum_work = 0.0
+                for record in records:
+                    sum_matches += record[1]
+                    sum_output += len(record[0])
+                    sum_work += record[2]
+                self.monitor.window.observe_chunk(
+                    n, sum_matches, sum_output, sum_work
+                )
         else:
             self.monitor.window.observe_many(
                 (record[1], len(record[0]), record[2]) for record in records
             )
         if self.local_tests:
             counts_list = self.local_counts
-            for record in records:
-                deltas = record[3]
-                if deltas is not None:
-                    for slot, (evaluated, passed) in enumerate(deltas):
-                        counts = counts_list[slot]
-                        counts[0] += evaluated
-                        counts[1] += passed
+            if lean:
+                # Same integer sums, grouped per distinct key above.
+                for slot, (evaluated, passed) in enumerate(lean_deltas):
+                    counts = counts_list[slot]
+                    counts[0] += evaluated
+                    counts[1] += passed
+            else:
+                for record in records:
+                    deltas = record[3]
+                    if deltas is not None:
+                        for slot, (evaluated, passed) in enumerate(deltas):
+                            counts = counts_list[slot]
+                            counts[0] += evaluated
+                            counts[1] += passed
         if bump_incoming:
             self.incoming_since_check += n
         return [record[0] for record in records]

@@ -53,6 +53,7 @@ from repro.errors import ExecutionError
 from repro.executor.access import RuntimeLeg
 from repro.executor.pipeline import PipelineExecutor, _NoAdaptation
 from repro.executor.probecache import ProbeCache
+from repro.executor.vector import vector_cascade
 from repro.robustness.guard import SandboxedController
 from repro.storage.cursor import IndexScanCursor
 from repro.storage.table import Row
@@ -437,6 +438,14 @@ class BatchedPipelineExecutor(PipelineExecutor):
         """
         self._open_driving(self.order[0])
         self._compile_all_probes()
+        # Columnar fast path: when every leg supports it, the whole static
+        # join collapses into a layered array computation with identical
+        # rows, order, and final totals (see executor/vector.py). Any
+        # unsupported shape returns None and this generic loop runs.
+        cascade = vector_cascade(self)
+        if cascade is not None:
+            yield from cascade
+            return
         aliases = list(self.order)
         leg_count = len(aliases)
         last = leg_count - 1

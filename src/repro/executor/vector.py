@@ -1,0 +1,333 @@
+"""Whole-query vectorized join cascade for static (mode NONE) runs.
+
+The turbo loop (:meth:`BatchedPipelineExecutor._run_turbo`) already skips
+every per-probe observation for static plans; what remains is the Python
+nested-loop state machine itself. When every leg is columnar and every
+probe is a pure indexed equality lookup, the whole join collapses into a
+layered array computation:
+
+1. the driving scan becomes an index-entry (or RID-range) slice plus a
+   boolean mask for the residual local predicates;
+2. each inner leg translates its probe-key column into *ranks* of the
+   probed index's distinct-key sidecar (``searchsorted`` for numeric keys,
+   a dictionary-code LUT for strings), then expands the flow through the
+   leg's group kernel with ``repeat``/``cumsum`` CSR gathers — exactly the
+   rows, in exactly the depth-first nested-loop order, of the scalar
+   machine;
+3. work-meter charges are computed from the same per-key kernel aggregates
+   the scalar probes charge (descend per probe, ``max(entries, 1)`` per
+   present/missing key, fetch per candidate row, short-circuit-exact local
+   evals), summed per leg.
+
+Gates are strict — any unsupported shape returns ``None`` and the generic
+turbo loop runs instead. In particular the cascade requires: numpy, no
+probe caches, a fresh unpartitioned driving cursor, columnar tables and
+indexes on every leg, index-equality probes with no residual joins, no
+positional predicates, and vectorizable local predicates everywhere.
+Like the rest of the turbo path this is only observably different from
+the scalar machine in *intermediate* meter states, which nothing can read
+(no limits, no observability, no faults, no oracle — enforced by the
+turbo entry conditions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.storage.columnar import (
+    ColumnarIndex,
+    ColumnarTable,
+    _NumericColumn,
+    _StringColumn,
+)
+from repro.storage.compiled import vector_spec
+from repro.storage.cursor import IndexScanCursor
+
+try:  # pragma: no cover - exercised via the columnar backend tests
+    import numpy as _np
+except Exception:  # pragma: no cover - stdlib-only environments
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.batch import BatchedPipelineExecutor
+
+
+def _make_translator(
+    source_column, keys_np, rank: dict, column_len: int
+) -> Callable | None:
+    """Key-column values -> sidecar ranks (-1 null, -2 missing), or None.
+
+    The returned callable maps an int64 RID array over the *source* column
+    to the probed index's distinct-key ranks, reproducing the scalar
+    ``rank.get(row[key_slot])`` per element.
+    """
+    if isinstance(source_column, _NumericColumn):
+        if source_column.boxed is not None:
+            return None
+        pair = source_column.np_values()
+        if pair is None:
+            return None
+        values, notnull = pair
+        if not rank:
+            # Empty index: every non-null key misses, nulls stay null.
+            def translate_empty(rids):
+                return _np.where(notnull[rids], -2, -1)
+
+            return translate_empty
+        if keys_np is None:
+            return None  # non-numeric (or unbuildable) key domain
+
+        nkeys = len(keys_np)
+
+        def translate_numeric(rids):
+            src = values[rids]
+            pos = _np.searchsorted(keys_np, src)
+            clipped = _np.minimum(pos, nkeys - 1)
+            ranks = _np.where(keys_np[clipped] == src, clipped, -2)
+            ranks[~notnull[rids]] = -1
+            return ranks
+
+        return translate_numeric
+    if isinstance(source_column, _StringColumn):
+        if rank and not isinstance(next(iter(rank)), str):
+            return None  # typed mismatch between key domains
+        codes = source_column.np_codes()
+        if codes is None:
+            return None
+        decode = source_column.decode
+        lut = _np.full(len(decode) + 1, -2, dtype=_np.int64)
+        for code, text in enumerate(decode):
+            j = rank.get(text)
+            if j is not None:
+                lut[code] = j
+        lut[-1] = -1  # NULL encodes as code -1 -> last LUT slot
+
+        def translate_string(rids):
+            return lut[codes[rids]]
+
+        return translate_string
+    return None
+
+
+def vector_cascade(executor: "BatchedPipelineExecutor") -> Iterator | None:
+    """A generator running the whole query vectorized, or None to fall back.
+
+    Must be called after ``_open_driving``/``_compile_all_probes``; every
+    gate failure returns ``None`` with no state mutated, so the caller's
+    generic loop proceeds untouched.
+    """
+    if _np is None:
+        return None
+    if executor.probe_caches:
+        return None
+    order = list(executor.order)
+    if len(order) < 2:
+        return None
+    legs = [executor.legs[alias] for alias in order]
+    for leg in legs:
+        if not isinstance(leg.table, ColumnarTable):
+            return None
+    cursor = executor.driving_cursor
+    if cursor is None:
+        return None
+    if cursor.last_position is not None or cursor.stop_at is not None:
+        return None  # resumed or partitioned scans keep the generic walk
+
+    # -- driving leg: entry walk + residual-local masks -----------------
+    leg0 = legs[0]
+    if leg0.positional is not None:
+        return None
+    pushed = leg0._pushed_predicate(cursor)
+    residual0 = [
+        predicate
+        for predicate, _ in leg0.local_tests
+        if predicate is not pushed
+    ]
+    is_index = isinstance(cursor, IndexScanCursor)
+    if is_index:
+        index0 = cursor.index
+        if not isinstance(index0, ColumnarIndex):
+            return None
+        index0._sidecar()
+        if index0._ent_rids is None:
+            return None
+    table0 = leg0.table
+    schema0 = table0.schema
+    masks0 = []
+    for predicate in residual0:
+        spec = vector_spec(predicate, schema0)
+        if spec is None:
+            return None
+        mask = table0.mask_for_spec(spec)
+        if mask is None:
+            return None
+        masks0.append(mask)
+
+    # -- inner legs: kernels + key translators --------------------------
+    inner = []
+    for position in range(1, len(order)):
+        leg = legs[position]
+        config = leg.probe_config
+        if (
+            config is None
+            or config.hash_column is not None
+            or config.access_index is None
+            or config.key_alias is None
+            or config.key_slot is None
+            or config.residual_joins
+        ):
+            return None
+        if leg.positional is not None:
+            return None
+        index = config.access_index
+        if not isinstance(index, ColumnarIndex):
+            return None
+        built = index.cascade_groups(leg.local_tests)
+        if built is None:
+            return None
+        kernel, keys_np, rank = built
+        source_table = executor.legs[config.key_alias].table
+        translate = _make_translator(
+            source_table.column_store(config.key_slot),
+            keys_np,
+            rank,
+            len(source_table),
+        )
+        if translate is None:
+            return None
+        inner.append((leg, config, kernel, translate))
+
+    projection = [
+        (output.alias, executor._slot_of(output.alias, output.column))
+        for output in executor.plan.projection
+    ]
+    return _execute(
+        executor, order, cursor, is_index, masks0, len(masks0), inner,
+        projection,
+    )
+
+
+def _execute(
+    executor,
+    order: list[str],
+    cursor,
+    is_index: bool,
+    masks0: list,
+    ntests0: int,
+    inner: list,
+    projection: list[tuple[str, int]],
+) -> Iterator[tuple]:
+    """Run the planned cascade; charges mirror the turbo path exactly."""
+    meter = executor.catalog.meter
+    leg0 = executor.legs[order[0]]
+
+    # Driving walk: the (key, RID) order of the ranges, or RID order.
+    if is_index:
+        index0 = cursor.index
+        index0._sidecar()
+        ent_rids = index0._ent_rids
+        slices = []
+        walked = 0
+        for key_range in cursor.ranges:
+            lo, hi = index0._range_bounds(
+                key_range.low,
+                key_range.high,
+                key_range.low_inclusive,
+                key_range.high_inclusive,
+            )
+            if hi > lo:
+                slices.append(ent_rids[lo:hi])
+                walked += hi - lo
+        if len(slices) == 1:
+            walk = slices[0]
+        elif slices:
+            walk = _np.concatenate(slices)
+        else:
+            walk = _np.zeros(0, dtype=_np.int64)
+        # One descend per range entered; a fresh full drain enters all.
+        meter.index_descends += len(cursor.ranges)
+        meter.index_entries += walked
+    else:
+        walked = len(leg0.table)
+        walk = _np.arange(walked, dtype=_np.int64)
+    # Every walked entry is a row fetch; residual locals charge
+    # len(tests) per scanned row (the scalar driving walk's bulk rate).
+    meter.row_fetches += walked
+    if ntests0:
+        meter.predicate_evals += walked * ntests0
+    if masks0:
+        alive = masks0[0][walk]
+        for mask in masks0[1:]:
+            alive &= mask[walk]
+        survivors = walk[alive]
+    else:
+        survivors = walk
+    flow = int(len(survivors))
+    executor.driving_rows_since_check += flow
+    executor.driving_rows_total += flow
+
+    # Layered expansion: ancestors[alias] maps every in-flight joined
+    # tuple to its RID at that alias, in depth-first nested-loop order.
+    ancestors: dict[str, Any] = {order[0]: survivors}
+    for leg, config, kernel, translate in inner:
+        if flow == 0:
+            ancestors[leg.alias] = _np.zeros(0, dtype=_np.int64)
+            continue
+        ranks = translate(ancestors[config.key_alias])
+        present = ranks >= 0
+        present_ranks = ranks[present]
+        # Scalar probe charges: descend always; present keys walk their
+        # full group (entries + fetches + short-circuit local evals);
+        # missing keys touch one entry; null keys descend only.
+        meter.index_descends += flow
+        if len(present_ranks):
+            group_sizes = kernel.totals[present_ranks]
+            touched = int(group_sizes.sum())
+            meter.index_entries += touched + int(
+                _np.count_nonzero(ranks == -2)
+            )
+            meter.row_fetches += touched
+            meter.predicate_evals += int(
+                kernel.evals[present_ranks].sum()
+            )
+        else:
+            meter.index_entries += int(_np.count_nonzero(ranks == -2))
+        offsets = kernel.pass_offsets
+        matches = _np.zeros(flow, dtype=_np.int64)
+        if len(present_ranks):
+            matches[present] = (
+                offsets[present_ranks + 1] - offsets[present_ranks]
+            )
+        total = int(matches.sum())
+        parent = _np.repeat(_np.arange(flow, dtype=_np.int64), matches)
+        if total:
+            starts = _np.zeros(flow, dtype=_np.int64)
+            starts[present] = offsets[present_ranks]
+            base = _np.repeat(starts, matches)
+            within = _np.arange(total, dtype=_np.int64) - _np.repeat(
+                _np.cumsum(matches) - matches, matches
+            )
+            new_rids = kernel.pass_rids[base + within]
+        else:
+            new_rids = _np.zeros(0, dtype=_np.int64)
+        ancestors = {
+            alias: rids[parent] for alias, rids in ancestors.items()
+        }
+        ancestors[leg.alias] = new_rids
+        flow = total
+
+    meter.rows_emitted += flow
+    executor.rows_emitted += flow
+    executor.depleted_from = 0
+    if flow:
+        if not projection:  # degenerate empty projection
+            empty = ()
+            for _ in range(flow):
+                yield empty
+            return
+        columns = []
+        for alias, slot in projection:
+            raw = executor.legs[alias].table.raw_rows()
+            rids = ancestors[alias].tolist()
+            columns.append([raw[rid][slot] for rid in rids])
+        yield from zip(*columns)

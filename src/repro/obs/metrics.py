@@ -26,6 +26,11 @@ name                               type    meaning
 ``leg_position{leg}``              gauge   the leg's current pipeline position (0=driving)
 ``probe_index_matches{leg}``       histo   per-probe candidate counts (fan-out shape)
 ``selectivity_error_ratio{leg}``   histo   measured Eq (7) selectivity / optimizer prior
+``storage_table_bytes{table}``     gauge   resident bytes of one table's storage
+``storage_table_rows{table}``      gauge   row count of one table
+``storage_total_bytes``            gauge   resident bytes across all tables
+``storage_table_count``            gauge   number of tables in the catalog
+``storage_backend_info{backend}``  gauge   1 for the active storage backend
 =================================  ======  ===========================================
 """
 
@@ -309,6 +314,34 @@ class MetricsRegistry:
                     if bucket_line:
                         lines.append(f"  {bucket_line}")
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def record_storage_gauges(
+    registry: MetricsRegistry, storage: Mapping[str, Any]
+) -> None:
+    """Fold a ``Database.storage_stats()`` payload into footprint gauges.
+
+    Per-table resident bytes and row counts become labelled gauges; the
+    catalog-wide totals and the active backend (Prometheus info-style,
+    value 1 with the backend name as the label) ride alongside, so one
+    scrape shows where the columnar layout's memory savings land.
+    """
+    table_bytes = registry.gauge(
+        "storage_table_bytes", "resident bytes of one table's storage"
+    )
+    table_rows = registry.gauge("storage_table_rows", "row count of one table")
+    for entry in storage.get("per_table", ()):
+        table_bytes.set(float(entry["bytes"]), entry["table"])
+        table_rows.set(float(entry["rows"]), entry["table"])
+    registry.gauge(
+        "storage_total_bytes", "resident bytes across all tables"
+    ).set(float(storage.get("total_bytes", 0)))
+    registry.gauge(
+        "storage_table_count", "number of tables in the catalog"
+    ).set(float(storage.get("table_count", 0)))
+    registry.gauge(
+        "storage_backend_info", "1 for the active storage backend"
+    ).set(1.0, str(storage.get("backend", "unknown")))
 
 
 def merge_counter(target: Mapping[str, float], source: Counter) -> dict[str, float]:

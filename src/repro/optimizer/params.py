@@ -37,7 +37,11 @@ _HASH_PROBE_COST = _counters.HASH_PROBE_COST
 _HASH_MATCH_COST = _counters.HASH_MATCH_COST
 
 
-@dataclass(frozen=True, slots=True)
+# Not frozen=True: a frozen dataclass routes every field through
+# object.__setattr__ at init time, and the adaptation controller builds a
+# fresh model per leg per reorder check — construction is hot. Treat
+# instances as immutable; derive variants via with_remaining_fraction.
+@dataclass(slots=True)
 class TableModel:
     """Per-table parameters feeding the cost model.
 

@@ -109,6 +109,16 @@ class JoinGraph:
             tuple[str, frozenset[str], frozenset[str]],
             tuple[tuple[int, ...], int, tuple[int, ...], tuple[int, ...]],
         ] = {}
+        # Per-alias endpoint view of _class_of, in _class_of iteration
+        # order, so cache misses walk only this alias's join columns
+        # instead of every endpoint in the graph.
+        self._alias_endpoints: dict[
+            str, list[tuple[str, tuple[tuple[str, str], ...]]]
+        ] = {}
+        for endpoint, class_id in self._class_of.items():
+            self._alias_endpoints.setdefault(endpoint[0], []).append(
+                (endpoint[1], self.classes[class_id])
+            )
 
     def _build_classes(self) -> None:
         """Union-find over (alias, column) endpoints."""
@@ -172,22 +182,13 @@ class JoinGraph:
         if cached is not None:
             return list(cached)
         available: list[JoinPredicate] = []
-        for endpoint, class_id in self._class_of.items():
-            if endpoint[0] != alias:
-                continue
-            members = self.classes[class_id]
-            partner = next(
-                (
-                    (other, column)
-                    for other, column in members
-                    if other in bound_set
-                ),
-                None,
-            )
-            if partner is not None:
-                available.append(
-                    JoinPredicate(alias, endpoint[1], partner[0], partner[1])
-                )
+        for column, members in self._alias_endpoints.get(alias, ()):
+            for other, other_column in members:
+                if other in bound_set:
+                    available.append(
+                        JoinPredicate(alias, column, other, other_column)
+                    )
+                    break
         self._available_cache[(alias, bound_set)] = tuple(available)
         return available
 

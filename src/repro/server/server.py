@@ -49,7 +49,7 @@ from repro.errors import (
     SchemaError,
 )
 from repro.executor.parallel import catalog_generation
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, record_storage_gauges
 from repro.obs.recorder import FlightRecorder, TelemetryStore
 from repro.robustness.limits import CancellationToken, ExecutionLimits
 from repro.server.admission import (
@@ -672,6 +672,16 @@ class QueryServer:
         plan_cache = getattr(self.engine, "plan_cache", None)
         recorder = getattr(self.engine, "recorder", None)
         slow_counter = self.metrics.counter("server_slow_queries_total")
+        if self.db is not None:
+            storage = self.db.storage_stats()
+        else:  # engine-only server (tests/stubs): nothing to report
+            storage = {
+                "backend": "none",
+                "total_bytes": 0,
+                "table_count": 0,
+                "per_table": [],
+            }
+        record_storage_gauges(self.metrics, storage)
         return {
             "server": {
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -740,6 +750,12 @@ class QueryServer:
                     else 0
                 ),
             },
+            "storage": {
+                "backend": storage["backend"],
+                "total_bytes": storage["total_bytes"],
+                "table_count": storage["table_count"],
+            },
+            "per_table": storage["per_table"],
             "per_session": [
                 {
                     "session": session.name,

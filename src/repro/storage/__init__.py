@@ -1,5 +1,12 @@
 """Storage substrate: heap tables, ordered indexes, resumable cursors."""
 
+from repro.storage.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    StorageBackend,
+    get_backend,
+)
+from repro.storage.columnar import ColumnarIndex, ColumnarTable
 from repro.storage.counters import WorkMeter
 from repro.storage.cursor import (
     IndexScanCursor,
@@ -13,9 +20,15 @@ from repro.storage.table import HeapTable, Row
 from repro.storage.types import ColumnType
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
     "Column",
     "ColumnType",
+    "ColumnarIndex",
+    "ColumnarTable",
     "HeapTable",
+    "StorageBackend",
+    "get_backend",
     "IndexScanCursor",
     "KeyRange",
     "Row",

@@ -1,0 +1,948 @@
+"""The columnar storage backend: typed columns + vectorized index kernels.
+
+:class:`ColumnarTable` stores each column in a typed ``array.array``
+(``q`` for INT, ``d`` for FLOAT) with a one-byte-per-row null mask, and
+dictionary-encodes STRING columns (``array('i')`` codes + an
+insertion-ordered decode list). Rows are **views**: the table lazily
+materializes the familiar row-tuple list on first row-wise access and
+shares that one list everywhere (``raw_rows``, ``fetch``, ``peek``,
+``scan``), so row object *identity* — which the batched executor's
+driving-leg shadow asserts — is preserved exactly as in the row backend.
+The fully vectorized execution paths never materialize rows at all.
+
+:class:`ColumnarIndex` keeps the parent's sorted ``(key, rid)`` entry list
+(cursors, range scans, and positional-order semantics inherit unchanged)
+and adds a flat sidecar per generation: the distinct keys, CSR segment
+starts, and an ``int64`` RID array. Equality probes become O(1) dict-rank
+lookups instead of ``bisect`` pairs, and the local-predicate group
+builders (`filtered_groups`, the fast path's per-key records, the turbo
+cascade's arrays) evaluate each leg's predicates **once per column** with
+numpy masks — reproducing the scalar short-circuit eval counts exactly via
+alive-mask accounting (``evals_i = rows still alive before test i``).
+
+numpy is an optional fast path: without it (or for unsupported predicate
+shapes / overflow-promoted columns) every entry point falls back to the
+inherited row-at-a-time implementation, so results and work accounting
+never depend on numpy's presence — only speed does.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.storage.compiled import vector_spec
+from repro.storage.counters import WorkMeter
+from repro.storage.index import SortedIndex
+from repro.storage.schema import TableSchema
+from repro.storage.table import HeapTable, Row
+from repro.storage.types import ColumnType
+
+try:  # optional fast path; every caller guards on None
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+
+# ----------------------------------------------------------------------
+# Typed column stores
+# ----------------------------------------------------------------------
+class _NumericColumn:
+    """INT/FLOAT column: typed array + null byte-mask (+ boxed fallback).
+
+    INT values that overflow a signed 64-bit slot promote the whole column
+    to a plain Python list (``boxed``); correctness never depends on the
+    typed layout, only the vectorized kernels do (they refuse boxed
+    columns).
+    """
+
+    __slots__ = ("kind", "typecode", "data", "nulls", "boxed", "_np_cache")
+
+    def __init__(self, kind: str, typecode: str) -> None:
+        self.kind = kind  # "int" | "float"
+        self.typecode = typecode
+        self.data: array | None = array(typecode)
+        self.nulls: bytearray | None = bytearray()
+        self.boxed: list | None = None
+        self._np_cache: tuple | None = None
+
+    def __len__(self) -> int:
+        if self.boxed is not None:
+            return len(self.boxed)
+        return len(self.data)
+
+    def _promote(self) -> None:
+        values = self.data.tolist()
+        nulls = self.nulls
+        self.boxed = [
+            None if nulls[i] else values[i] for i in range(len(values))
+        ]
+        self.data = None
+        self.nulls = None
+        self._np_cache = None
+
+    def append(self, value: Any) -> None:
+        if self.boxed is not None:
+            self.boxed.append(value)
+            return
+        if value is None:
+            self.data.append(0)
+            self.nulls.append(1)
+            return
+        try:
+            self.data.append(value)
+        except OverflowError:
+            self._promote()
+            self.boxed.append(value)
+            return
+        self.nulls.append(0)
+
+    def get(self, rid: int) -> Any:
+        if self.boxed is not None:
+            return self.boxed[rid]
+        if self.nulls[rid]:
+            return None
+        return self.data[rid]
+
+    def values_list(self) -> list:
+        if self.boxed is not None:
+            return list(self.boxed)
+        values = self.data.tolist()
+        nulls = self.nulls
+        if any(nulls):
+            return [
+                None if nulls[i] else values[i] for i in range(len(values))
+            ]
+        return values
+
+    def np_values(self):
+        """``(values, notnull)`` numpy copies, or None (boxed / no numpy)."""
+        if _np is None or self.boxed is not None:
+            return None
+        count = len(self.data)
+        cache = self._np_cache
+        if cache is not None and cache[0] == count:
+            return cache[1], cache[2]
+        # Copies, not views: a live buffer export would make the arrays
+        # refuse append() (BufferError) on later inserts.
+        dtype = _np.int64 if self.typecode == "q" else _np.float64
+        values = _np.frombuffer(self.data, dtype=dtype).copy()
+        notnull = _np.frombuffer(self.nulls, dtype=_np.uint8) == 0
+        self._np_cache = (count, values, notnull)
+        return values, notnull
+
+    def nbytes(self) -> int:
+        if self.boxed is not None:
+            return sys.getsizeof(self.boxed) + sum(
+                sys.getsizeof(v) for v in self.boxed
+            )
+        return self.data.itemsize * len(self.data) + len(self.nulls)
+
+
+class _StringColumn:
+    """Dictionary-encoded string column: int32 codes, -1 encodes NULL."""
+
+    __slots__ = ("kind", "codes", "decode", "encode", "_np_cache")
+
+    def __init__(self) -> None:
+        self.kind = "str"
+        self.codes = array("i")
+        self.decode: list[str] = []
+        self.encode: dict[str, int] = {}
+        self._np_cache: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.codes.append(-1)
+            return
+        code = self.encode.get(value)
+        if code is None:
+            code = len(self.decode)
+            self.encode[value] = code
+            self.decode.append(value)
+        self.codes.append(code)
+
+    def get(self, rid: int) -> Any:
+        code = self.codes[rid]
+        return self.decode[code] if code >= 0 else None
+
+    def values_list(self) -> list:
+        decode = self.decode
+        return [decode[c] if c >= 0 else None for c in self.codes]
+
+    def np_codes(self):
+        if _np is None:
+            return None
+        count = len(self.codes)
+        cache = self._np_cache
+        if cache is not None and cache[0] == count:
+            return cache[1]
+        codes = _np.frombuffer(self.codes, dtype=_np.int32).copy()
+        self._np_cache = (count, codes)
+        return codes
+
+    def nbytes(self) -> int:
+        return (
+            self.codes.itemsize * len(self.codes)
+            + sum(sys.getsizeof(s) for s in self.decode)
+            + sys.getsizeof(self.encode)
+        )
+
+
+def _make_column(column_type: ColumnType):
+    if column_type is ColumnType.INT:
+        return _NumericColumn("int", "q")
+    if column_type is ColumnType.FLOAT:
+        return _NumericColumn("float", "d")
+    return _StringColumn()
+
+
+# ----------------------------------------------------------------------
+# Table
+# ----------------------------------------------------------------------
+class ColumnarTable(HeapTable):
+    """Drop-in :class:`HeapTable` whose source of truth is typed columns."""
+
+    __slots__ = ("_cols", "_nrows")
+
+    backend_name = "columnar"
+
+    def __init__(self, schema: TableSchema, meter: WorkMeter | None = None) -> None:
+        super().__init__(schema, meter)
+        self._cols = [_make_column(column.type) for column in schema.columns]
+        self._nrows = 0
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    @property
+    def cardinality(self) -> int:
+        return self._nrows
+
+    def insert(self, values: Sequence[Any]) -> int:
+        row = self.schema.validate_row(values)
+        for column, cell in zip(self._cols, row):
+            column.append(cell)
+        self._nrows += 1
+        self.version += 1
+        return self._nrows - 1
+
+    # -- row views ------------------------------------------------------
+    def _materialized(self) -> list[Row]:
+        """The shared row-tuple list, (re)built lazily from the columns.
+
+        One list per table: every row-wise accessor returns objects from
+        it, so identity-based assertions (the driving shadow's
+        ``predicted is row``) hold exactly as in the row backend.
+        """
+        rows = self._rows
+        if len(rows) == self._nrows:
+            return rows
+        if not rows:
+            rows[:] = zip(*(column.values_list() for column in self._cols))
+        else:  # incremental append after a partial build
+            cols = self._cols
+            for rid in range(len(rows), self._nrows):
+                rows.append(tuple(column.get(rid) for column in cols))
+        return rows
+
+    def raw_rows(self) -> Sequence[Row]:
+        return self._materialized()
+
+    def fetch(self, rid: int) -> Row:
+        if rid < 0 or rid >= self._nrows:
+            from repro.errors import StorageError
+
+            raise StorageError(
+                f"table {self.name!r}: RID {rid} out of range [0, {self._nrows})"
+            )
+        self.meter.charge_row_fetch()
+        return self._materialized()[rid]
+
+    def peek(self, rid: int) -> Row:
+        if rid < 0 or rid >= self._nrows:
+            from repro.errors import StorageError
+
+            raise StorageError(
+                f"table {self.name!r}: RID {rid} out of range [0, {self._nrows})"
+            )
+        return self._materialized()[rid]
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        for rid, row in enumerate(self._materialized()):
+            self.meter.charge_row_fetch()
+            yield rid, row
+
+    def column_values(self, column: str) -> list[Any]:
+        return self._cols[self.schema.position_of(column)].values_list()
+
+    # -- columnar access ------------------------------------------------
+    def column_store(self, slot: int):
+        return self._cols[slot]
+
+    def column_kind(self, slot: int) -> str:
+        return self._cols[slot].kind
+
+    def cell(self, rid: int, slot: int) -> Any:
+        """One cell without materializing the row view (projection path)."""
+        return self._cols[slot].get(rid)
+
+    def mask_for_spec(self, spec: tuple):
+        """Whole-column boolean mask for a :func:`vector_spec` tree.
+
+        Returns a bool ndarray of length ``len(self)`` whose slot *i* is
+        exactly ``bound_test(row_i)``, or ``None`` when the spec cannot be
+        evaluated vectorized (no numpy, boxed column, or constant types
+        whose comparison the interpreter path would resolve dynamically).
+        """
+        if _np is None:
+            return None
+        op = spec[0]
+        if op == "or":
+            mask = None
+            for child in spec[1]:
+                child_mask = self.mask_for_spec(child)
+                if child_mask is None:
+                    return None
+                mask = child_mask if mask is None else (mask | child_mask)
+            return mask
+        column = self._cols[spec[1]]
+        if column.kind == "str":
+            return self._string_mask(column, spec)
+        return self._numeric_mask(column, spec)
+
+    @staticmethod
+    def _plain_number(value: Any) -> bool:
+        # bool included deliberately: numpy compares True as 1, exactly
+        # like the row interpreter's ``cell == True``.
+        return isinstance(value, (int, float))
+
+    def _numeric_mask(self, column: _NumericColumn, spec: tuple):
+        arrays = column.np_values()
+        if arrays is None:
+            return None
+        values, notnull = arrays
+        op = spec[0]
+        if op == "isnull":
+            return notnull.copy() if spec[2] else ~notnull
+        if op == "cmp":
+            op_name, constant = spec[2], spec[3]
+            if not self._plain_number(constant):
+                # Mixed-type ordering raises in the interpreter; equality
+                # is always-False, inequality matches every non-NULL cell.
+                if op_name == "EQ":
+                    return _np.zeros(len(values), dtype=bool)
+                if op_name == "NE":
+                    return notnull.copy()
+                return None
+            if op_name == "EQ":
+                return (values == constant) & notnull
+            if op_name == "NE":
+                return (values != constant) & notnull
+            if op_name == "LT":
+                return (values < constant) & notnull
+            if op_name == "LE":
+                return (values <= constant) & notnull
+            if op_name == "GT":
+                return (values > constant) & notnull
+            return (values >= constant) & notnull
+        if op == "between":
+            low, high = spec[2], spec[3]
+            if not (self._plain_number(low) and self._plain_number(high)):
+                return None
+            return (values >= low) & (values <= high) & notnull
+        if op == "in":
+            members = spec[2]
+            numeric = [v for v in members if self._plain_number(v)]
+            mask = (
+                _np.isin(values, numeric) & notnull
+                if numeric
+                else _np.zeros(len(values), dtype=bool)
+            )
+            if any(v is None for v in members):
+                mask = mask | ~notnull
+            return mask
+        return None
+
+    def _string_mask(self, column: _StringColumn, spec: tuple):
+        codes = column.np_codes()
+        if codes is None:
+            return None
+        op = spec[0]
+        if op == "isnull":
+            return codes >= 0 if spec[2] else codes == -1
+        if op == "cmp":
+            op_name, constant = spec[2], spec[3]
+            if not isinstance(constant, str):
+                if op_name == "EQ":
+                    return _np.zeros(len(codes), dtype=bool)
+                if op_name == "NE":
+                    return codes >= 0
+                return None  # ordering vs non-str raises row-wise
+            if op_name == "EQ":
+                return codes == column.encode.get(constant, -2)
+            if op_name == "NE":
+                return (codes >= 0) & (
+                    codes != column.encode.get(constant, -2)
+                )
+            # Ordering: evaluate once per distinct value, gather via LUT.
+            # lut[-1] (the NULL code's negative-index target) stays False.
+            fn = {
+                "LT": str.__lt__,
+                "LE": str.__le__,
+                "GT": str.__gt__,
+                "GE": str.__ge__,
+            }[op_name]
+            lut = _np.zeros(len(column.decode) + 1, dtype=bool)
+            for code, text in enumerate(column.decode):
+                lut[code] = fn(text, constant)
+            return lut[codes]
+        if op == "between":
+            low, high = spec[2], spec[3]
+            if not (isinstance(low, str) and isinstance(high, str)):
+                return None
+            lut = _np.zeros(len(column.decode) + 1, dtype=bool)
+            for code, text in enumerate(column.decode):
+                lut[code] = low <= text <= high
+            return lut[codes]
+        if op == "in":
+            members = spec[2]
+            wanted = [
+                column.encode[v]
+                for v in members
+                if isinstance(v, str) and v in column.encode
+            ]
+            mask = (
+                _np.isin(codes, wanted)
+                if wanted
+                else _np.zeros(len(codes), dtype=bool)
+            )
+            if any(v is None for v in members):
+                mask = mask | (codes == -1)
+            return mask
+        return None
+
+    def memory_footprint(self) -> dict[str, int]:
+        columns_bytes = sum(column.nbytes() for column in self._cols)
+        row_cache = self._rows
+        row_cache_bytes = 0
+        if row_cache:
+            row_cache_bytes = sys.getsizeof(row_cache) + sum(
+                sys.getsizeof(row) for row in row_cache
+            )
+        return {
+            "rows": self._nrows,
+            "bytes": columns_bytes,
+            "row_cache_bytes": row_cache_bytes,
+        }
+
+
+def heap_memory_footprint(table: HeapTable) -> dict[str, int]:
+    """Approximate resident bytes of a row-backend table.
+
+    Counts the row list, the row tuples, and each cell object; shared
+    (interned) cell objects are counted at every reference, so this is an
+    upper-bound estimate — consistent across tables, which is what the
+    per-backend comparison needs.
+    """
+    rows = table.raw_rows()
+    total = sys.getsizeof(rows)
+    for row in rows:
+        total += sys.getsizeof(row)
+        for cell in row:
+            if cell is not None:
+                total += sys.getsizeof(cell)
+    return {"rows": len(rows), "bytes": total, "row_cache_bytes": 0}
+
+
+def table_memory_footprint(table: HeapTable) -> dict[str, int]:
+    if isinstance(table, ColumnarTable):
+        return table.memory_footprint()
+    return heap_memory_footprint(table)
+
+
+# ----------------------------------------------------------------------
+# Index
+# ----------------------------------------------------------------------
+class _Kernel:
+    """Per-(generation, local tests) vectorized group arrays of one index.
+
+    All arrays are keyed by the sidecar's distinct-key rank ``j``:
+
+    * ``totals[j]`` — entry count of key *j* (what a probe charges as
+      INDEX_ENTRY / ROW_FETCH),
+    * ``evals[j]`` — scalar-exact short-circuit local-predicate evals,
+    * ``pass_offsets[j] : pass_offsets[j+1]`` — slice of ``pass_rids``
+      holding the RIDs (in entry order) that pass every local test,
+    * ``ev``/``pa`` — per-test (evaluated, passed) arrays for the
+      monitored path's local-predicate counters.
+    """
+
+    __slots__ = (
+        "totals",
+        "evals",
+        "pass_offsets",
+        "pass_rids",
+        "ev",
+        "pa",
+        "_lists",
+    )
+
+    def __init__(self, totals, evals, pass_offsets, pass_rids, ev, pa):
+        self.totals = totals
+        self.evals = evals
+        self.pass_offsets = pass_offsets
+        self.pass_rids = pass_rids
+        self.ev = ev
+        self.pa = pa
+        self._lists = None
+
+    def lists(self) -> tuple:
+        """Plain-list views of every array (built once, then cached).
+
+        Per-key record assembly slices these instead of the ndarrays: a
+        Python list slice of ints is far cheaper than an ndarray slice +
+        ``tolist()`` for the tiny groups equality probes see, and the
+        elements are already plain ``int`` (no ``np.int64`` can leak into
+        the WorkMeter).
+        """
+        lists = self._lists
+        if lists is None:
+            lists = self._lists = (
+                self.pass_offsets.tolist(),
+                self.pass_rids.tolist(),
+                self.evals.tolist(),
+                self.totals.tolist(),
+                [column.tolist() for column in self.ev],
+                [column.tolist() for column in self.pa],
+            )
+        return lists
+
+
+class ColumnarIndex(SortedIndex):
+    """A :class:`SortedIndex` with flat-array probing and group kernels."""
+
+    __slots__ = (
+        "_gen",
+        "_rank",
+        "_keys",
+        "_starts",
+        "_ent_rids",
+        "_keys_np",
+        "_rows_by_key",
+        "_rows_by_key_gen",
+        "_kernels",
+        "_group_dicts",
+        "_record_caches",
+        "_fast_ctx",
+    )
+
+    #: The turbo path may build filtered groups immediately (no break-even
+    #: gate): the kernel build is one vectorized pass, cached per
+    #: generation + predicate set, so it cannot lose.
+    prebuild_groups = True
+
+    def __init__(self, name: str, table: HeapTable, column: str) -> None:
+        self._gen = None
+        self._rows_by_key = None
+        self._rows_by_key_gen = None
+        self._kernels = {}
+        self._group_dicts = {}
+        self._record_caches = {}
+        self._fast_ctx = None
+        super().__init__(name, table, column)
+
+    def rebuild(self) -> None:
+        # Build entries straight from the column store when available —
+        # the load path then never materializes the row view.
+        table = self.table
+        if isinstance(table, ColumnarTable):
+            values = table.column_store(self._column_pos).values_list()
+            entries = [
+                (key, rid) for rid, key in enumerate(values) if key is not None
+            ]
+            entries.sort()
+            self._entries = entries
+            self._built_upto = len(table)
+        else:
+            super().rebuild()
+        self._gen = None
+
+    def _generation(self) -> tuple:
+        return (self._built_upto, self.table.version, len(self._entries))
+
+    def _sidecar(self) -> tuple:
+        """(rank, keys, starts) for the current generation (lazy)."""
+        gen = self._generation()
+        if self._gen != gen:
+            entries = self._entries
+            keys: list = []
+            starts: list[int] = []
+            rank: dict = {}
+            previous = _SENTINEL
+            for position, (key, _) in enumerate(entries):
+                if key != previous:
+                    rank[key] = len(keys)
+                    keys.append(key)
+                    starts.append(position)
+                    previous = key
+            starts.append(len(entries))
+            self._rank = rank
+            self._keys = keys
+            self._starts = starts
+            if _np is not None:
+                self._ent_rids = _np.fromiter(
+                    (rid for _, rid in entries), dtype=_np.int64, count=len(entries)
+                )
+                kind = (
+                    self.table.column_kind(self._column_pos)
+                    if isinstance(self.table, ColumnarTable)
+                    else None
+                )
+                if keys and kind in ("int", "float"):
+                    dtype = _np.int64 if kind == "int" else _np.float64
+                    try:
+                        self._keys_np = _np.array(keys, dtype=dtype)
+                    except (OverflowError, TypeError, ValueError):
+                        self._keys_np = None
+                else:
+                    self._keys_np = None
+            else:
+                self._ent_rids = None
+                self._keys_np = None
+            self._rows_by_key = None
+            self._rows_by_key_gen = None
+            self._kernels = {}
+            self._group_dicts = {}
+            self._record_caches = {}
+            self._gen = gen
+        return self._rank, self._keys, self._starts
+
+    # -- O(1) probing ---------------------------------------------------
+    def lookup_rids(self, key: Any) -> list[int]:
+        faults = self.table.faults
+        if faults is not None:
+            faults.fire("index-lookup")
+        self._check_fresh()
+        self.meter.charge_index_descend()
+        if key is None:
+            return []
+        rank, _, starts = self._sidecar()
+        j = rank.get(key)
+        if j is None:
+            self.meter.charge_index_entries(1)
+            return []
+        lo, hi = starts[j], starts[j + 1]
+        self.meter.charge_index_entries(hi - lo)
+        return [rid for _, rid in self._entries[lo:hi]]
+
+    def lookup_rids_quiet(self, key: Any) -> list[int]:
+        self._check_fresh()
+        if key is None:
+            return []
+        rank, _, starts = self._sidecar()
+        j = rank.get(key)
+        if j is None:
+            return []
+        lo, hi = starts[j], starts[j + 1]
+        return [rid for _, rid in self._entries[lo:hi]]
+
+    def lookup_rids_batch(self, keys: Iterable[Any]) -> dict[Any, list[int]]:
+        self._check_fresh()
+        rank, _, starts = self._sidecar()
+        entries = self._entries
+        out: dict[Any, list[int]] = {}
+        for key in sorted(set(keys)):
+            j = rank.get(key)
+            if j is None:
+                out[key] = []
+            else:
+                lo, hi = starts[j], starts[j + 1]
+                out[key] = [rid for _, rid in entries[lo:hi]]
+        return out
+
+    def _rows_map(self) -> dict:
+        """Per-key row lists (shared, read-only), one build per generation."""
+        rank, keys, starts = self._sidecar()
+        gen = self._gen
+        if self._rows_by_key_gen != gen:
+            raw = self.table.raw_rows()
+            entries = self._entries
+            rows_by_key = {}
+            for j, key in enumerate(keys):
+                rows_by_key[key] = [
+                    raw[rid] for _, rid in entries[starts[j] : starts[j + 1]]
+                ]
+            self._rows_by_key = rows_by_key
+            self._rows_by_key_gen = gen
+        return self._rows_by_key
+
+    def lookup_rows_quiet(self, key: Any) -> list:
+        self._check_fresh()
+        if key is None:
+            return []
+        rows = self._rows_map().get(key)
+        return rows if rows is not None else []
+
+    def lookup_rows_batch(self, keys: Iterable[Any]) -> dict[Any, list]:
+        self._check_fresh()
+        rows_map = self._rows_map()
+        out: dict[Any, list] = {}
+        for key in sorted(set(keys)):
+            rows = rows_map.get(key)
+            out[key] = rows if rows is not None else []
+        return out
+
+    # -- vectorized group kernels ---------------------------------------
+    def _specs_for(self, tests: Sequence) -> list | None:
+        """Vector specs for bound test closures, or None if any is opaque.
+
+        The executor tags every bound local test with its source predicate
+        (``test.predicate``); untagged tests (or shapes ``vector_spec``
+        rejects, or columns the table cannot mask) disable vectorization.
+        """
+        if _np is None or not isinstance(self.table, ColumnarTable):
+            return None
+        schema = self.table.schema
+        specs = []
+        for test in tests:
+            predicate = getattr(test, "predicate", None)
+            if predicate is None:
+                return None
+            spec = vector_spec(predicate, schema)
+            if spec is None:
+                return None
+            specs.append(spec)
+        return specs
+
+    def _kernel_for(self, tests: Sequence, predicates_key: tuple):
+        """Build (or fetch) the group kernel for this generation + tests."""
+        self._sidecar()
+        cached = self._kernels.get(predicates_key)
+        if cached is not None:
+            return cached
+        specs = self._specs_for(tests)
+        if specs is None:
+            return None
+        masks = []
+        for spec in specs:
+            mask = self.table.mask_for_spec(spec)
+            if mask is None:
+                return None
+            masks.append(mask)
+        ent_rids = self._ent_rids
+        count = len(ent_rids)
+        starts_np = _np.asarray(self._starts[:-1], dtype=_np.int64)
+        nkeys = len(self._keys)
+        alive = _np.ones(count, dtype=bool)
+        evals = _np.zeros(count, dtype=_np.int64)
+        ev: list = []
+        pa: list = []
+        for mask in masks:
+            evals += alive
+            if nkeys:
+                ev.append(_np.add.reduceat(alive.astype(_np.int64), starts_np))
+            else:
+                ev.append(_np.zeros(0, dtype=_np.int64))
+            alive &= mask[ent_rids]
+            if nkeys:
+                pa.append(_np.add.reduceat(alive.astype(_np.int64), starts_np))
+            else:
+                pa.append(_np.zeros(0, dtype=_np.int64))
+        if nkeys:
+            bounds = _np.asarray(self._starts, dtype=_np.int64)
+            totals = _np.diff(bounds)
+            evals_k = (
+                _np.add.reduceat(evals, starts_np)
+                if masks
+                else _np.zeros(nkeys, dtype=_np.int64)
+            )
+            pass_counts = _np.add.reduceat(alive.astype(_np.int64), starts_np)
+        else:
+            totals = _np.zeros(0, dtype=_np.int64)
+            evals_k = _np.zeros(0, dtype=_np.int64)
+            pass_counts = _np.zeros(0, dtype=_np.int64)
+        pass_offsets = _np.zeros(nkeys + 1, dtype=_np.int64)
+        _np.cumsum(pass_counts, out=pass_offsets[1:])
+        pass_rids = ent_rids[alive]
+        kernel = _Kernel(totals, evals_k, pass_offsets, pass_rids, ev, pa)
+        if len(self._kernels) >= 16:  # bound the per-generation memo
+            self._kernels.pop(next(iter(self._kernels)))
+        self._kernels[predicates_key] = kernel
+        return kernel
+
+    @staticmethod
+    def _predicates_key(tests: Sequence) -> tuple | None:
+        out = []
+        for test in tests:
+            predicate = getattr(test, "predicate", None)
+            if predicate is None:
+                return None
+            out.append(predicate)
+        try:
+            hash(key := tuple(out))
+        except TypeError:
+            return None
+        return key
+
+    def filtered_groups(self, tests: list) -> dict[Any, tuple[list, int, int]]:
+        self._check_fresh()
+        predicates_key = self._predicates_key(tests)
+        kernel = (
+            self._kernel_for(tests, predicates_key)
+            if predicates_key is not None
+            else None
+        )
+        if kernel is None:
+            return super().filtered_groups(tests)
+        cached = self._group_dicts.get(predicates_key)
+        if cached is not None:
+            return cached
+        raw = self.table.raw_rows()
+        keys = self._keys
+        offsets = kernel.pass_offsets.tolist()
+        pass_rids = kernel.pass_rids.tolist()
+        evals = kernel.evals.tolist()
+        totals = kernel.totals.tolist()
+        out = {}
+        for j, key in enumerate(keys):
+            out[key] = (
+                [raw[rid] for rid in pass_rids[offsets[j] : offsets[j + 1]]],
+                evals[j],
+                totals[j],
+            )
+        if len(self._group_dicts) >= 8:
+            self._group_dicts.pop(next(iter(self._group_dicts)))
+        self._group_dicts[predicates_key] = out
+        return out
+
+    def fast_group_records(
+        self, keys: Iterable[Any], local_tests: Sequence, positional
+    ) -> dict | None:
+        """Per-key fast-path records for *keys*, or None (caller falls back).
+
+        Each record is ``(rows, evals, count, deltas)`` with semantics
+        identical to ``RuntimeLeg._fast_group_rows`` over the key's full
+        candidate list: short-circuited local evals (plus one positional
+        eval per locally-passing row), per-test (evaluated, passed)
+        deltas, rows in entry order.
+        """
+        self._check_fresh()
+        # One-slot context memo keyed by the *identity* of the caller's
+        # local_tests list (built once per RuntimeLeg, never mutated; the
+        # strong reference held here keeps the id from being recycled).
+        # Skips predicate-tuple hashing and kernel lookup on every probe
+        # chunk after the first.
+        ctx = self._fast_ctx
+        if (
+            ctx is not None
+            and ctx[0] is local_tests
+            and ctx[1] == self._generation()
+            and positional is None
+        ):
+            _, _, kernel, memo, rank, lists, ntests = ctx
+        else:
+            tests = [test for _, test in local_tests]
+            predicates_key = self._predicates_key(tests)
+            if predicates_key is None:
+                return None
+            kernel = self._kernel_for(tests, predicates_key)
+            if kernel is None:
+                return None
+            rank, _, _ = self._sidecar()
+            ntests = len(tests)
+            # Records depend only on (generation, local tests) —
+            # positional predicates are driving-leg-only — so assembled
+            # records persist across probe epochs: reorders flush the
+            # access layer's memo, but re-requested keys here are dict
+            # hits, not re-assemblies.
+            memo = None
+            if positional is None:
+                memo = self._record_caches.get(predicates_key)
+                if memo is None:
+                    memo = self._record_caches[predicates_key] = {}
+            lists = kernel.lists()
+            if positional is None:
+                self._fast_ctx = (
+                    local_tests,
+                    self._gen,
+                    kernel,
+                    memo,
+                    rank,
+                    lists,
+                    ntests,
+                )
+        raw = self.table.raw_rows()
+        offsets, pass_rids, evals_l, totals_l, ev_l, pa_l = lists
+        empty = (
+            [],
+            0,
+            0,
+            tuple((0, 0) for _ in range(ntests)) if ntests else None,
+        )
+        out = {}
+        for key in set(keys):
+            if memo is not None:
+                record = memo.get(key)
+                if record is not None:
+                    out[key] = record
+                    continue
+            j = rank.get(key)
+            if j is None:
+                record = empty
+            else:
+                rids = pass_rids[offsets[j] : offsets[j + 1]]
+                evals = evals_l[j]
+                deltas = (
+                    tuple((ev_l[i][j], pa_l[i][j]) for i in range(ntests))
+                    if ntests
+                    else None
+                )
+                if positional is not None:
+                    rows = []
+                    test = positional.test
+                    for rid in rids:
+                        row = raw[rid]
+                        evals += 1
+                        if test(rid, row):
+                            rows.append(row)
+                else:
+                    rows = [raw[rid] for rid in rids]
+                record = (rows, evals, totals_l[j], deltas)
+            if memo is not None:
+                memo[key] = record
+            out[key] = record
+        return out
+
+    def cascade_groups(self, local_tests: Sequence):
+        """(kernel, keys_np, rank) for the vectorized join cascade, or None."""
+        self._check_fresh()
+        tests = [test for _, test in local_tests]
+        predicates_key = self._predicates_key(tests)
+        if predicates_key is None:
+            return None
+        kernel = self._kernel_for(tests, predicates_key)
+        if kernel is None:
+            return None
+        rank, _, _ = self._sidecar()
+        return kernel, self._keys_np, rank
+
+
+class _SentinelType:
+    __slots__ = ()
+
+    def __eq__(self, other):  # pragma: no cover - trivial
+        return other is self
+
+    def __ne__(self, other):
+        return other is not self
+
+    def __hash__(self):  # pragma: no cover - trivial
+        return object.__hash__(self)
+
+
+_SENTINEL = _SentinelType()

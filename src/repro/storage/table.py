@@ -22,6 +22,9 @@ class HeapTable:
 
     __slots__ = ("schema", "_rows", "meter", "faults", "version")
 
+    #: Storage-backend tag; subclasses (columnar) override.
+    backend_name = "row"
+
     def __init__(self, schema: TableSchema, meter: WorkMeter | None = None) -> None:
         self.schema = schema
         self._rows: list[Row] = []
