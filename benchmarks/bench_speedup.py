@@ -20,12 +20,18 @@ and the probe-cache counters appear only for variants that actually arm a
 cache — an uncached variant *has* no cache, so it reports nothing rather
 than a misleading ``probe_cache_hits: 0``.
 
-The ``backends`` section re-runs the same variants against the **columnar**
-storage backend (same data, same RIDs) and reports each variant's speedup
-over the *row scalar* baseline of the same mode — the headline numbers of
-the columnar backend. Columnar result rows are verified against the row
-backend's per query, so the cross-backend speedups are for bit-identical
-answers.
+The ``backends`` section re-runs the same variants — plus an
+``adaptive_vector`` variant pinning the vectorized cascade's qualifying
+configuration (batched, chunk granularity, no probe cache) — against the
+**columnar** storage backend (same data, same RIDs) and reports each
+variant's speedup over the *row scalar* baseline of the same mode — the
+headline numbers of the columnar backend. Columnar result rows are
+verified against the row backend's per query, so the cross-backend
+speedups are for bit-identical answers. Every variant records which
+execution engine(s) actually ran (``engines``); under ``--check`` the
+``adaptive_vector`` variant must have run a vectorized-cascade engine,
+and full-scale runs additionally hold the chunked adaptive engine's
+mode-BOTH >=10x floor over the row scalar.
 
 A second section sweeps ``workers`` in {1, 2, 4} over a *scan-heavy*
 workload (driving legs with thousands of entries — the six-table templates
@@ -68,6 +74,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: --check fails when batched exceeds scalar time by more than this factor.
 CHECK_TOLERANCE = 1.10
+
+#: --check (full scale) fails when the mode-BOTH columnar adaptive_vector
+#: variant speeds up less than this over the row scalar baseline — the
+#: chunked vectorized adaptive engine's headline contract.
+MODE_BOTH_COLUMNAR_FLOOR = 10.0
 
 #: A stored-baseline speedup may drift down by this factor before the
 #: regression report fires (wall-clock noise allowance).
@@ -125,6 +136,28 @@ def build_variants(
     }
 
 
+def build_backend_variants(
+    mode: ReorderMode, batch_size: int, cache_size: int
+) -> dict[str, AdaptiveConfig]:
+    """The backends-section variants: the row trio plus ``adaptive_vector``.
+
+    ``adaptive_vector`` pins the vectorized engine's qualifying
+    configuration — batched, chunk-granularity monitoring, no probe cache
+    (a cache disqualifies the cascade) — so the recorded ``engines`` list
+    proves the chunked adaptive cascade (monitored modes) or the static
+    cascade (mode NONE) actually ran, and the mode-``both`` perf gate has
+    a named variant to hold.
+    """
+    variants = build_variants(mode, batch_size, cache_size)
+    variants["adaptive_vector"] = AdaptiveConfig(
+        mode=mode,
+        batched=True,
+        batch_size=batch_size,
+        monitor_granularity="chunk" if mode.monitors else "exact",
+    )
+    return variants
+
+
 def variant_config_summary(config: AdaptiveConfig) -> dict:
     """The executor knobs a variant ran under, for the JSON record."""
     return {
@@ -152,6 +185,7 @@ def measure_mode(
     """
     best = {name: float("inf") for name in variants}
     meters: dict[str, dict] = {name: {} for name in variants}
+    engines: dict[str, set] = {name: set() for name in variants}
     if reference is None:
         reference = {}
     for rep in range(reps):
@@ -166,6 +200,7 @@ def measure_mode(
                     hits += outcome.stats.work.probe_cache_hits
                     misses += outcome.stats.work.probe_cache_misses
                 if rep == 0:
+                    engines[name].add(outcome.stats.engine)
                     rows = sorted(outcome.rows)
                     expected = reference.setdefault(query.qid, rows)
                     if rows != expected:
@@ -181,6 +216,10 @@ def measure_mode(
                 if arms_cache:
                     meters[name]["probe_cache_hits"] = hits
                     meters[name]["probe_cache_misses"] = misses
+    for name in meters:
+        # Which execution engine(s) ran the variant's queries (engine
+        # choice is deterministic, so rep 0 covers it).
+        meters[name]["engines"] = sorted(engines[name])
     return meters
 
 
@@ -306,6 +345,13 @@ def report_regressions(output_path: str, payload: dict) -> list[str]:
     except (OSError, ValueError):
         return []
     lines: list[str] = []
+    if baseline.get("scale") != payload.get("scale") or baseline.get(
+        "query_count"
+    ) != payload.get("query_count"):
+        # A quick/CI run against a full-scale stored baseline (or vice
+        # versa) would compare apples to oranges — speedups shrink with
+        # scale as fixed per-query overheads dominate.
+        return []
     for mode, meters in payload.get("modes", {}).items():
         old_meters = baseline.get("modes", {}).get(mode, {})
         for variant, data in meters.items():
@@ -395,6 +441,10 @@ def main(argv: list[str] | None = None) -> int:
         args.scale = min(args.scale, 0.05)
         args.count = min(args.count, 3)
         args.reps = min(args.reps, 3)
+        # Quick runs still measure mode BOTH so the CI smoke exercises
+        # the adaptive-vector variant and its engine (vacuity) gate; the
+        # absolute mode-both floor stays full-scale only.
+        args.adaptive = True
     workers_sweep = tuple(
         int(part) for part in args.workers_sweep.split(",") if part.strip()
     )
@@ -406,7 +456,7 @@ def main(argv: list[str] | None = None) -> int:
     queries = six_table_workload(count=args.count)
 
     modes = [ReorderMode.NONE]
-    if args.adaptive and not args.quick:
+    if args.adaptive:
         modes.append(ReorderMode.BOTH)
 
     payload: dict = {
@@ -421,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
         "backends": {"columnar": {"modes": {}}},
     }
     check_failed = False
+    engine_gate_failed = False
     for mode in modes:
         variants = build_variants(mode, args.batch_size, args.cache_size)
         reference: dict[str, list] = {}
@@ -439,11 +490,14 @@ def main(argv: list[str] | None = None) -> int:
         if mode is ReorderMode.NONE and batched > scalar * CHECK_TOLERANCE:
             check_failed = True
 
-        # Columnar backend: same variants, same queries, answers verified
-        # against the row backend's (the shared *reference*); speedups are
-        # vs the row scalar baseline measured above.
+        # Columnar backend: same variants plus ``adaptive_vector``, same
+        # queries, answers verified against the row backend's (the shared
+        # *reference*); speedups are vs the row scalar baseline above.
+        col_variants = build_backend_variants(
+            mode, args.batch_size, args.cache_size
+        )
         col_meters = measure_mode(
-            columnar_db, queries, variants, args.reps, reference
+            columnar_db, queries, col_variants, args.reps, reference
         )
         for name in col_meters:
             col_meters[name]["speedup_vs_row_scalar"] = (
@@ -451,14 +505,50 @@ def main(argv: list[str] | None = None) -> int:
             )
         payload["backends"]["columnar"]["modes"][mode.name.lower()] = col_meters
         col_batched = col_meters["batched"]["wall_seconds"]
-        col_cached = col_meters["cached"]["wall_seconds"]
+        col_vector = col_meters["adaptive_vector"]["wall_seconds"]
         print(
             f"{mode.name.lower():8s} columnar "
             f"scalar={col_meters['scalar']['wall_seconds']:.3f}s "
             f"({scalar / col_meters['scalar']['wall_seconds']:.2f}x) "
             f"batched={col_batched:.3f}s ({scalar / col_batched:.2f}x) "
-            f"cached={col_cached:.3f}s ({scalar / col_cached:.2f}x)"
+            f"adaptive_vector={col_vector:.3f}s "
+            f"({scalar / col_vector:.2f}x, engines "
+            f"{','.join(col_meters['adaptive_vector']['engines'])})"
         )
+        # Vacuity guard: the adaptive_vector variant must actually run a
+        # vectorized-cascade engine on every query (mode NONE: the static
+        # cascade; monitored modes: the chunked adaptive engine, allowing
+        # mid-query handoff after a driving switch).
+        expected_engines = (
+            {"vector"}
+            if not mode.monitors
+            else {"vector-adaptive", "vector-adaptive+fast"}
+        )
+        stray = set(col_meters["adaptive_vector"]["engines"]) - expected_engines
+        if stray:
+            print(
+                f"CHECK FAILED: adaptive_vector variant (mode "
+                f"{mode.name.lower()}) ran non-vector engine(s): "
+                f"{sorted(stray)}",
+                file=sys.stderr,
+            )
+            engine_gate_failed = True
+        # The chunked adaptive engine's perf contract: mode BOTH columnar
+        # at full scale must hold a >=10x speedup over the row scalar
+        # (quick/CI scales are dominated by fixed per-query overheads, so
+        # the absolute floor applies to full runs only).
+        if (
+            mode is ReorderMode.BOTH
+            and not args.quick
+            and scalar / col_vector < MODE_BOTH_COLUMNAR_FLOOR
+        ):
+            print(
+                f"CHECK FAILED: columnar mode-both adaptive_vector speedup "
+                f"{scalar / col_vector:.2f}x below the "
+                f"{MODE_BOTH_COLUMNAR_FLOOR:.0f}x floor",
+                file=sys.stderr,
+            )
+            engine_gate_failed = True
 
     # The recorder's true overhead (a tuple append per kept check) sits
     # well under the scheduler-noise floor of a single pass, so the
@@ -502,6 +592,7 @@ def main(argv: list[str] | None = None) -> int:
     # regressions stay report-only — wall-clock noise on shared runners).
     columnar_regressed = any(
         line.startswith("REGRESSION: backend columnar mode none")
+        or line.startswith("REGRESSION: backend columnar mode both")
         for line in regressions
     )
 
@@ -524,9 +615,12 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.check and engine_gate_failed:
+        # The specific CHECK FAILED line was already printed inline.
+        return 1
     if args.check and columnar_regressed:
         print(
-            "CHECK FAILED: columnar mode-none speedup regressed below the "
+            "CHECK FAILED: columnar cascade speedup regressed below the "
             "stored baseline",
             file=sys.stderr,
         )

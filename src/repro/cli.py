@@ -395,6 +395,34 @@ def _parse_fault_plan(value: str | None) -> FaultPlan | None:
     return FaultPlan.from_json(text)
 
 
+# Warn at most once per process when a CLI option silently disqualifies
+# the vectorized cascade on a columnar database (satellite of the chunked
+# adaptive engine: the fallback is correct but much slower, so name the
+# failed gate instead of degrading quietly).
+_vector_gate_warned = False
+
+
+def _warn_vector_gate(result, cli_args) -> None:
+    global _vector_gate_warned
+    if _vector_gate_warned or cli_args is None:
+        return
+    if getattr(cli_args, "backend", "row") != "columnar":
+        return
+    stats = result.stats
+    # "vector-adaptive+fast" is a mid-query handoff, not an option
+    # problem; scalar/parallel runs never promised the cascade.
+    if stats.engine not in ("batched", "turbo", "fast"):
+        return
+    if stats.vector_gate is None:
+        return
+    _vector_gate_warned = True
+    print(
+        f"note: vectorized cascade disabled ({stats.vector_gate}); "
+        f"ran the {stats.engine!r} engine instead",
+        file=sys.stderr,
+    )
+
+
 def _make_config(mode: ReorderMode, cli_args) -> AdaptiveConfig:
     """AdaptiveConfig for *mode* with the CLI's executor knobs applied."""
     batch_size = getattr(cli_args, "batch_size", None)
@@ -433,6 +461,7 @@ def _run_query(
     except BudgetExceeded as error:
         print(f"static:   budget exceeded — {error.progress_summary()}")
         return
+    _warn_vector_gate(static, cli_args)
     for row in static.rows[:25]:
         print(row)
     if len(static.rows) > 25:
@@ -450,6 +479,7 @@ def _run_query(
         except BudgetExceeded as error:
             print(f"adaptive: budget exceeded — {error.progress_summary()}")
             return
+        _warn_vector_gate(adaptive, cli_args)
         matches = sorted(adaptive.rows) == sorted(static.rows)
         print(f"adaptive: {adaptive.stats.total_work:12,.0f} work units "
               f"({adaptive.stats.wall_seconds * 1000:.1f} ms), "
@@ -554,6 +584,7 @@ def _run_observed_query(
             wall_ms=(time.perf_counter() - started) * 1000.0,
         )
         return 0
+    _warn_vector_gate(result, args)
     if args.explain_analyze:
         print(render_explain_analyze(result, limits))
     else:

@@ -251,12 +251,16 @@ class AggregatedWindow:
 class LegMonitor:
     """Windowed monitor for one leg acting as an inner leg."""
 
-    __slots__ = ("window",)
+    __slots__ = ("window", "_pending")
 
     def __init__(self, window: int, aggregated: bool = False) -> None:
         self.window: SlidingWindow | AggregatedWindow = (
             AggregatedWindow(window) if aggregated else SlidingWindow(window)
         )
+        # Deferred chunk fold: (n, matches, output, work) accumulated by
+        # defer_chunk() and applied as ONE AggregatedWindow aggregate by
+        # flush_chunk() at the next driving-chunk boundary.
+        self._pending: list = [0, 0, 0, 0.0]
 
     @property
     def incoming_rows(self) -> int:
@@ -283,6 +287,36 @@ class LegMonitor:
         """Amortized chunk observation (:class:`AggregatedWindow` only)."""
         self.window.observe_chunk(n, matches, output_rows, work_units)
 
+    def defer_chunk(
+        self, n: int, matches: int, output_rows: int, work_units: float
+    ) -> None:
+        """Accumulate a partial chunk fold without touching the window.
+
+        Chunk-granularity executors probe a leg several times per driving
+        chunk (one refill per parent batch); deferring lets the executor
+        fold the whole driving chunk into the window as ONE aggregate at
+        the chunk boundary, which is exactly what the vectorized adaptive
+        cascade computes per leg per chunk. The work constants are all
+        exact binary fractions (quarter units), so regrouping the float
+        sums here is bit-exact against any other grouping.
+        """
+        pending = self._pending
+        pending[0] += n
+        pending[1] += matches
+        pending[2] += output_rows
+        pending[3] += work_units
+
+    def flush_chunk(self) -> None:
+        """Apply the deferred fold as one window aggregate (no-op if empty)."""
+        pending = self._pending
+        if pending[0] == 0:
+            return
+        self.window.observe_chunk(pending[0], pending[1], pending[2], pending[3])
+        pending[0] = 0
+        pending[1] = 0
+        pending[2] = 0
+        pending[3] = 0.0
+
     def reset(self) -> None:
         """Drop history (used when the leg's probe configuration changes).
 
@@ -291,6 +325,7 @@ class LegMonitor:
         recompiles (reorders, driving switches).
         """
         self.window = type(self.window)(self.window.size)
+        self._pending = [0, 0, 0, 0.0]
 
     # -- derived estimates (None when no data yet) -----------------------
     def join_cardinality(self) -> float | None:

@@ -98,6 +98,14 @@ class ExecutionStats:
     critical_path_work: float | None = None
     # How many worker processes executed partitions (1 = serial).
     workers: int = 1
+    # Which execution engine ran the pipeline: "scalar", "batched",
+    # "turbo", "vector", "fast", "vector-adaptive", "vector-adaptive+fast",
+    # or "parallel" for partitioned runs.
+    engine: str = "scalar"
+    # Why the vectorized cascade did NOT run (first failed gate), when the
+    # batched path fell back to a generic loop; None when it ran or was
+    # never a candidate.
+    vector_gate: str | None = None
 
     @property
     def total_work(self) -> float:
@@ -449,6 +457,8 @@ class Database:
             driving_checks=controller.driving_checks if controller else 0,
             order_history=tuple(executor.order_history),
             events=tuple(executor.events),
+            engine=executor.engine_used,
+            vector_gate=executor.vector_gate_reason,
         )
         if query_span is not None:
             tracer.end(
@@ -505,6 +515,7 @@ class Database:
             events=tuple(outcome.events),
             critical_path_work=outcome.critical_path_units,
             workers=outcome.workers_used,
+            engine="parallel",
         )
         if query_span is not None:
             tracer.end(

@@ -1306,11 +1306,14 @@ class RuntimeLeg:
         if defer:
             return records
         if aggregate:
+            # Deferred: the executor folds ONE window aggregate per leg per
+            # driving chunk at the chunk boundary (flush_chunk), matching
+            # the vectorized adaptive cascade's per-chunk kernel folds.
             if lean:
                 # Chunk sums fall out of the meter totals: every cost
                 # constant is an exact binary fraction, so this aggregate
                 # equals the per-record float sum bit for bit.
-                self.monitor.window.observe_chunk(
+                self.monitor.defer_chunk(
                     n,
                     fetches,
                     lean_output,
@@ -1327,7 +1330,7 @@ class RuntimeLeg:
                     sum_matches += record[1]
                     sum_output += len(record[0])
                     sum_work += record[2]
-                self.monitor.window.observe_chunk(
+                self.monitor.defer_chunk(
                     n, sum_matches, sum_output, sum_work
                 )
         else:

@@ -53,7 +53,7 @@ from repro.errors import ExecutionError
 from repro.executor.access import RuntimeLeg
 from repro.executor.pipeline import PipelineExecutor, _NoAdaptation
 from repro.executor.probecache import ProbeCache
-from repro.executor.vector import vector_cascade
+from repro.executor.vector import adaptive_cascade, vector_cascade
 from repro.robustness.guard import SandboxedController
 from repro.storage.cursor import IndexScanCursor
 from repro.storage.table import Row
@@ -311,6 +311,11 @@ class BatchedPipelineExecutor(PipelineExecutor):
             yield from self._run_fast()
             return
 
+        self.engine_used = "batched"
+        if self.obs is not None and self.obs.hot:
+            self.vector_gate_reason = "hot observability armed"
+        elif self._enforcer is not None:
+            self.vector_gate_reason = "execution limits armed"
         self._open_driving(self.order[0])
         self._compile_all_probes()
         config = self.config
@@ -444,8 +449,10 @@ class BatchedPipelineExecutor(PipelineExecutor):
         # unsupported shape returns None and this generic loop runs.
         cascade = vector_cascade(self)
         if cascade is not None:
+            self.engine_used = "vector"
             yield from cascade
             return
+        self.engine_used = "turbo"
         aliases = list(self.order)
         leg_count = len(aliases)
         last = leg_count - 1
@@ -633,6 +640,28 @@ class BatchedPipelineExecutor(PipelineExecutor):
         reorders_inner = mode.reorders_inner
         chunked = config.monitor_granularity == "chunk"
 
+        if chunked:
+            # Chunk granularity: try the vectorized adaptive cascade. It
+            # runs the whole cascade a driving chunk at a time with
+            # kernel-folded monitoring and checks at chunk boundaries —
+            # observably identical to this generic loop (same rows in
+            # order, same meter, same windows, same decisions). It returns
+            # True when the query completed, False to hand the partially
+            # consumed cursors back to this loop (e.g. after a driving
+            # switch introduces positional predicates), or None from
+            # adaptive_cascade() when a static gate fails.
+            self.engine_used = "fast"
+            engine = adaptive_cascade(self)
+            if engine is not None:
+                self.engine_used = "vector-adaptive"
+                completed = yield from engine
+                if completed:
+                    return
+                self.engine_used = "vector-adaptive+fast"
+        else:
+            self.engine_used = "fast"
+            self.vector_gate_reason = "exact monitor granularity"
+
         leg_count = len(self.order)
         last = leg_count - 1
         schemes = [self._OBS_BULK] * leg_count
@@ -663,6 +692,11 @@ class BatchedPipelineExecutor(PipelineExecutor):
         while True:
             if position == 0:
                 self.depleted_from = 0
+                if chunked and not expected:
+                    # Driving-chunk boundary: apply every leg's deferred
+                    # window folds as ONE aggregate per leg before any
+                    # check (or end-of-query snapshot) can read a window.
+                    self._flush_chunk_folds()
                 if (
                     reorders_driving
                     and self.driving_rows_since_check >= check_freq
@@ -732,20 +766,30 @@ class BatchedPipelineExecutor(PipelineExecutor):
             if idx >= len(rows_list):
                 # Suffix at >= position is depleted (Sec 4.1).
                 self.depleted_from = position
-                if (
-                    reorders_inner
-                    and position < last
-                    and self.legs[self.order[position]].incoming_since_check
-                    >= check_freq
-                    # Chunk granularity: fire only with no prepared probes
-                    # outstanding at this position (a chunk boundary). The
-                    # bottom-up drain guarantees deeper pendings are empty
-                    # whenever this one is, so a suffix permutation can
-                    # never strand stale prepared state. Exact granularity
-                    # already guarantees emptiness via the width caps.
-                    and (not chunked or not pending[position])
-                ):
-                    controller.on_suffix_depleted(position)
+                if reorders_inner and position < last:
+                    if chunked:
+                        # Chunk granularity: one inner check per driving
+                        # chunk, at the chunk boundary (position-1
+                        # depletion with nothing prepared or expected —
+                        # i.e. the chunk's last driving row just drained).
+                        # A whole-suffix permutation decided at position 1
+                        # subsumes deeper suffix checks, so deeper
+                        # depletions never fire mid-chunk; this is what
+                        # the vectorized adaptive cascade replicates.
+                        if (
+                            position == 1
+                            and not expected
+                            and not pending[1]
+                            and self.legs[self.order[1]].incoming_since_check
+                            >= check_freq
+                        ):
+                            self._flush_chunk_folds()
+                            controller.on_suffix_depleted(1)
+                    elif (
+                        self.legs[self.order[position]].incoming_since_check
+                        >= check_freq
+                    ):
+                        controller.on_suffix_depleted(position)
                 position -= 1
                 continue
             match_idx[position] = idx + 1
@@ -778,6 +822,20 @@ class BatchedPipelineExecutor(PipelineExecutor):
             else:
                 match_rows[position] = leg.probe(binding)
             match_idx[position] = 0
+
+    def _flush_chunk_folds(self) -> None:
+        """Apply every leg's deferred window folds (chunk granularity).
+
+        Chunk-granularity probes defer their window aggregates
+        (:meth:`LegMonitor.defer_chunk`); this applies them as ONE
+        :meth:`AggregatedWindow.observe_chunk` per leg — the same single
+        fold per leg per driving chunk the vectorized adaptive cascade
+        computes from its kernels. Called at every driving-chunk boundary
+        before anything (a reorder check, an end-of-query snapshot) can
+        read a window. No-op for legs with nothing pending.
+        """
+        for leg in self.legs.values():
+            leg.monitor.flush_chunk()
 
     def _refill_driving_fast(
         self,

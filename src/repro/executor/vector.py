@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from repro.errors import ExecutionError
 from repro.storage.columnar import (
     ColumnarIndex,
     ColumnarTable,
@@ -41,6 +42,12 @@ from repro.storage.columnar import (
     _StringColumn,
 )
 from repro.storage.compiled import vector_spec
+from repro.storage.counters import (
+    INDEX_DESCEND_COST,
+    INDEX_ENTRY_COST,
+    PREDICATE_EVAL_COST,
+    ROW_FETCH_COST,
+)
 from repro.storage.cursor import IndexScanCursor
 
 try:  # pragma: no cover - exercised via the columnar backend tests
@@ -117,25 +124,35 @@ def vector_cascade(executor: "BatchedPipelineExecutor") -> Iterator | None:
     generic loop proceeds untouched.
     """
     if _np is None:
+        executor.vector_gate_reason = "numpy unavailable (stdlib fallback)"
         return None
     if executor.probe_caches:
+        executor.vector_gate_reason = "probe cache armed (--probe-cache)"
         return None
     order = list(executor.order)
     if len(order) < 2:
+        executor.vector_gate_reason = "single-leg pipeline"
         return None
     legs = [executor.legs[alias] for alias in order]
     for leg in legs:
         if not isinstance(leg.table, ColumnarTable):
+            executor.vector_gate_reason = f"leg {leg.alias!r}: row-backend table"
             return None
     cursor = executor.driving_cursor
     if cursor is None:
+        executor.vector_gate_reason = "driving cursor not open"
         return None
     if cursor.last_position is not None or cursor.stop_at is not None:
-        return None  # resumed or partitioned scans keep the generic walk
+        # Resumed or partitioned scans keep the generic walk.
+        executor.vector_gate_reason = "resumed or partitioned driving scan"
+        return None
 
     # -- driving leg: entry walk + residual-local masks -----------------
     leg0 = legs[0]
     if leg0.positional is not None:
+        executor.vector_gate_reason = (
+            f"leg {order[0]!r}: positional predicate (frozen cursor)"
+        )
         return None
     pushed = leg0._pushed_predicate(cursor)
     residual0 = [
@@ -147,55 +164,34 @@ def vector_cascade(executor: "BatchedPipelineExecutor") -> Iterator | None:
     if is_index:
         index0 = cursor.index
         if not isinstance(index0, ColumnarIndex):
+            executor.vector_gate_reason = (
+                f"leg {order[0]!r}: non-columnar driving index"
+            )
             return None
         index0._sidecar()
         if index0._ent_rids is None:
+            executor.vector_gate_reason = (
+                f"leg {order[0]!r}: non-columnar driving index"
+            )
             return None
     table0 = leg0.table
     schema0 = table0.schema
     masks0 = []
     for predicate in residual0:
         spec = vector_spec(predicate, schema0)
-        if spec is None:
-            return None
-        mask = table0.mask_for_spec(spec)
+        mask = table0.mask_for_spec(spec) if spec is not None else None
         if mask is None:
+            executor.vector_gate_reason = (
+                f"leg {order[0]!r}: non-vectorizable local predicates"
+            )
             return None
         masks0.append(mask)
 
     # -- inner legs: kernels + key translators --------------------------
-    inner = []
-    for position in range(1, len(order)):
-        leg = legs[position]
-        config = leg.probe_config
-        if (
-            config is None
-            or config.hash_column is not None
-            or config.access_index is None
-            or config.key_alias is None
-            or config.key_slot is None
-            or config.residual_joins
-        ):
-            return None
-        if leg.positional is not None:
-            return None
-        index = config.access_index
-        if not isinstance(index, ColumnarIndex):
-            return None
-        built = index.cascade_groups(leg.local_tests)
-        if built is None:
-            return None
-        kernel, keys_np, rank = built
-        source_table = executor.legs[config.key_alias].table
-        translate = _make_translator(
-            source_table.column_store(config.key_slot),
-            keys_np,
-            rank,
-            len(source_table),
-        )
-        if translate is None:
-            return None
-        inner.append((leg, config, kernel, translate))
+    inner, reason = _adaptive_plan(executor)
+    if inner is None:
+        executor.vector_gate_reason = reason
+        return None
 
     projection = [
         (output.alias, executor._slot_of(output.alias, output.column))
@@ -331,3 +327,292 @@ def _execute(
             rids = ancestors[alias].tolist()
             columns.append([raw[rid][slot] for rid in rids])
         yield from zip(*columns)
+
+
+# ---------------------------------------------------------------------------
+# Chunked adaptive cascade (monitored modes, chunk granularity)
+# ---------------------------------------------------------------------------
+def _adaptive_plan(executor) -> tuple[list | None, str | None]:
+    """Per-leg kernels/translators for the *current* order, or a gate reason.
+
+    Recomputed whenever the order or a probe epoch changes (an applied
+    inner reorder permutes the cascade mid-scan; a driving switch freezes
+    the old driving leg behind a positional predicate, which fails the
+    gate here and hands execution back to the generic loop).
+    """
+    order = executor.order
+    inner: list = []
+    for position in range(1, len(order)):
+        alias = order[position]
+        leg = executor.legs[alias]
+        config = leg.probe_config
+        if config is None or config.hash_column is not None:
+            return None, f"leg {alias!r}: hash-probed or uncompiled access"
+        if (
+            config.access_index is None
+            or config.key_alias is None
+            or config.key_slot is None
+        ):
+            return None, f"leg {alias!r}: non-indexed probe"
+        if config.residual_joins:
+            return None, f"leg {alias!r}: residual join predicates"
+        if leg.positional is not None:
+            return None, f"leg {alias!r}: positional predicate (frozen cursor)"
+        index = config.access_index
+        if not isinstance(index, ColumnarIndex):
+            return None, f"leg {alias!r}: non-columnar index"
+        built = index.cascade_groups(leg.local_tests)
+        if built is None:
+            return None, f"leg {alias!r}: non-vectorizable local predicates"
+        kernel, keys_np, rank = built
+        source_table = executor.legs[config.key_alias].table
+        translate = _make_translator(
+            source_table.column_store(config.key_slot),
+            keys_np,
+            rank,
+            len(source_table),
+        )
+        if translate is None:
+            return None, f"leg {alias!r}: untranslatable key column"
+        inner.append((leg, config, kernel, translate))
+    return inner, None
+
+
+def _plan_signature(executor) -> tuple:
+    """Cheap change detector: any reorder or probe recompile moves this."""
+    return (
+        tuple(executor.order),
+        tuple(leg.probe_epoch for leg in executor.legs.values()),
+    )
+
+
+def adaptive_cascade(executor: "BatchedPipelineExecutor") -> Iterator | None:
+    """The chunked vectorized adaptive engine, or None to fall back.
+
+    Runs the whole cascade one driving chunk at a time under the
+    monitored modes: each chunk's inner legs expand through the same CSR
+    group kernels as the static cascade, each leg's
+    :class:`~repro.core.monitor.AggregatedWindow` fold is derived from the
+    kernel aggregates (numerically identical to what ``observe_chunk``
+    folds from scalar probes — see ``LegMonitor.defer_chunk``), and the
+    rank-rule checks run at chunk boundaries: one inner check at position
+    1 and one driving check per chunk, exactly the generic chunked loop's
+    cadence. Applied inner reorders permute the remaining cascade legs
+    mid-scan (plan rebuild); driving switches re-enter the generic
+    depleted-state machinery (the generator returns False and the caller
+    continues with the partially consumed cursors).
+
+    Must be called after ``_open_driving``/``_compile_all_probes``. Every
+    gate failure returns None with ``executor.vector_gate_reason`` set and
+    no state mutated.
+    """
+    if _np is None:
+        executor.vector_gate_reason = "numpy unavailable (stdlib fallback)"
+        return None
+    if executor.probe_caches:
+        executor.vector_gate_reason = "probe cache armed (--probe-cache)"
+        return None
+    if len(executor.order) < 2:
+        executor.vector_gate_reason = "single-leg pipeline"
+        return None
+    for alias in executor.order:
+        if not isinstance(executor.legs[alias].table, ColumnarTable):
+            executor.vector_gate_reason = f"leg {alias!r}: row-backend table"
+            return None
+    inner, reason = _adaptive_plan(executor)
+    if inner is None:
+        executor.vector_gate_reason = reason
+        return None
+    return _adaptive_run(executor, inner)
+
+
+def _adaptive_run(executor, inner: list):
+    """Chunk loop: consume -> cascade -> fold -> boundary checks.
+
+    Returns True when the query completed, False to hand the partially
+    consumed cursors back to the generic chunked loop at a chunk boundary
+    (all prepared state drained, windows flushed, counters consistent).
+
+    Observable-parity contract with the generic chunked ``_run_fast``:
+
+    * driving rows are consumed through the *real* charging iterator
+      (``RuntimeLeg.driving_rows``) against a ``DrivingShadow``
+      prediction, so scan charges, the driving monitor, and freeze/resume
+      positions are identical by construction — including the trailing
+      non-survivor scan landing *after* the final boundary's checks;
+    * each inner leg's meter charges and window fold are the kernel-sum
+      twins of ``probe_batch_fast``'s lean aggregates (descend per outer
+      row; ``max(entries, 1)`` per present/missing key; fetch + local
+      evals per candidate row; all cost constants exact binary fractions,
+      so the float work sums are bit-identical under regrouping);
+    * one window fold per leg per chunk, applied at the boundary before
+      any check or snapshot can read a window (``_flush_chunk_folds``).
+    """
+    from repro.executor.batch import DrivingShadow  # deferred: import cycle
+
+    config = executor.config
+    mode = config.mode
+    batch_size = config.batch_size
+    check_freq = config.check_frequency
+    controller = executor.controller
+    meter = executor.catalog.meter
+    reorders_inner = mode.reorders_inner
+    reorders_driving = mode.reorders_driving
+    legs_map = executor.legs
+
+    projection = [
+        (output.alias, executor._slot_of(output.alias, output.column))
+        for output in executor.plan.projection
+    ]
+    plan_sig = _plan_signature(executor)
+    shadow = None
+    while True:
+        driving_alias = executor.order[0]
+        cursor = executor.driving_cursor
+        it = executor._driving_iter
+        assert cursor is not None and it is not None
+        if shadow is None:
+            shadow = DrivingShadow(legs_map[driving_alias], cursor)
+        predicted = shadow.next_survivors(batch_size)
+        if not predicted:
+            # Scan exhausted: drain the trailing non-survivors through the
+            # real iterator (charging scan work and driving-monitor records
+            # exactly like the generic loop's final next()), then finish.
+            row = next(it, None)
+            if row is not None:
+                raise ExecutionError(
+                    "adaptive cascade: driving lookahead diverged from "
+                    f"the cursor on leg {driving_alias!r}"
+                )
+            executor.depleted_from = 0
+            executor._flush_chunk_folds()
+            return True
+        rids: list[int] = []
+        last_position = None
+        for expect in predicted:
+            row = next(it, None)
+            if row is not expect:
+                raise ExecutionError(
+                    "adaptive cascade: driving lookahead diverged from "
+                    f"the cursor on leg {driving_alias!r}"
+                )
+            rids.append(cursor.last_position[-1])
+        flow = len(rids)
+        executor.depleted_from = None
+        executor.driving_rows_since_check += flow
+        executor.driving_rows_total += flow
+
+        # -- layered expansion, charging per-leg kernel aggregates -------
+        ancestors: dict[str, Any] = {
+            driving_alias: _np.asarray(rids, dtype=_np.int64)
+        }
+        for leg, pconfig, kernel, translate in inner:
+            if flow == 0:
+                ancestors[leg.alias] = _np.zeros(0, dtype=_np.int64)
+                continue
+            ranks = translate(ancestors[pconfig.key_alias])
+            present = ranks >= 0
+            present_ranks = ranks[present]
+            npresent = len(present_ranks)
+            missing = int(_np.count_nonzero(ranks == -2))
+            meter.index_descends += flow
+            if npresent:
+                group_sizes = kernel.totals[present_ranks]
+                touched = int(group_sizes.sum())
+                evals = int(kernel.evals[present_ranks].sum())
+            else:
+                touched = 0
+                evals = 0
+            entries = touched + missing
+            meter.index_entries += entries
+            meter.row_fetches += touched
+            meter.predicate_evals += evals
+            offsets = kernel.pass_offsets
+            matches = _np.zeros(flow, dtype=_np.int64)
+            if npresent:
+                matches[present] = (
+                    offsets[present_ranks + 1] - offsets[present_ranks]
+                )
+            total = int(matches.sum())
+            if leg.monitoring_enabled:
+                meter.monitor_updates += flow
+                # The lean aggregate: (incoming, index matches, output,
+                # work) — deferred, applied as one window entry per chunk.
+                leg.monitor.defer_chunk(
+                    flow,
+                    touched,
+                    total,
+                    flow * INDEX_DESCEND_COST
+                    + entries * INDEX_ENTRY_COST
+                    + touched * ROW_FETCH_COST
+                    + evals * PREDICATE_EVAL_COST,
+                )
+                if leg.local_tests:
+                    counts_list = leg.local_counts
+                    ev = kernel.ev
+                    pa = kernel.pa
+                    for slot in range(len(counts_list)):
+                        counts = counts_list[slot]
+                        if npresent:
+                            counts[0] += int(ev[slot][present_ranks].sum())
+                            counts[1] += int(pa[slot][present_ranks].sum())
+                leg.incoming_since_check += flow
+            parent = _np.repeat(_np.arange(flow, dtype=_np.int64), matches)
+            if total:
+                starts = _np.zeros(flow, dtype=_np.int64)
+                starts[present] = offsets[present_ranks]
+                base = _np.repeat(starts, matches)
+                within = _np.arange(total, dtype=_np.int64) - _np.repeat(
+                    _np.cumsum(matches) - matches, matches
+                )
+                new_rids = kernel.pass_rids[base + within]
+            else:
+                new_rids = _np.zeros(0, dtype=_np.int64)
+            ancestors = {
+                alias: arr[parent] for alias, arr in ancestors.items()
+            }
+            ancestors[leg.alias] = new_rids
+            flow = total
+
+        meter.rows_emitted += flow
+        executor.rows_emitted += flow
+        if flow:
+            if not projection:  # degenerate empty projection
+                empty = ()
+                for _ in range(flow):
+                    yield empty
+            else:
+                columns = []
+                for alias, slot in projection:
+                    raw = legs_map[alias].table.raw_rows()
+                    out_rids = ancestors[alias].tolist()
+                    columns.append([raw[rid][slot] for rid in out_rids])
+                yield from zip(*columns)
+
+        # -- chunk boundary: flush folds, then the two checks ------------
+        executor._flush_chunk_folds()
+        if (
+            reorders_inner
+            and len(executor.order) > 2
+            and legs_map[executor.order[1]].incoming_since_check >= check_freq
+        ):
+            executor.depleted_from = 1
+            controller.on_suffix_depleted(1)
+        executor.depleted_from = 0
+        if (
+            reorders_driving
+            and executor.driving_rows_since_check >= check_freq
+            and controller.on_pipeline_depleted()
+        ):
+            shadow = None  # driving switch: fresh cursor, fresh lookahead
+        sig = _plan_signature(executor)
+        if sig != plan_sig:
+            inner, reason = _adaptive_plan(executor)
+            if inner is None:
+                # Typically a driving switch froze the old driving leg
+                # behind a positional predicate: hand the cursors back to
+                # the generic chunked loop mid-query.
+                executor.vector_gate_reason = reason
+                executor.depleted_from = 0
+                return False
+            plan_sig = sig

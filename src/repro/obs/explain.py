@@ -125,6 +125,10 @@ def render_explain_analyze(
         f"{stats.adaptation_work:,.0f} adaptation), "
         f"{stats.wall_seconds * 1000:.1f} ms"
     )
+    engine_line = f"engine: {stats.engine}"
+    if stats.vector_gate is not None:
+        engine_line += f" (vector cascade gated: {stats.vector_gate})"
+    lines.append(engine_line)
     lines.append(
         "work breakdown: "
         f"{work.index_descends:,d} index descend(s), "

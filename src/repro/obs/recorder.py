@@ -326,6 +326,8 @@ class FlightRecord:
     monitor_granularity: str = "exact"
     batched: bool = False
     workers: int = 1
+    # Which execution engine ran the pipeline (ExecutionStats.engine).
+    engine: str = "unknown"
     legs: dict[str, dict[str, Any]] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
     decisions: list[DecisionRecord] = field(default_factory=list)
@@ -358,6 +360,7 @@ class FlightRecord:
             "monitor_granularity": self.monitor_granularity,
             "batched": self.batched,
             "workers": self.workers,
+            "engine": self.engine,
             "legs": _clean(self.legs),
             "events": _clean(self.events),
             "decisions": [decision.as_dict() for decision in self.decisions],
@@ -386,6 +389,7 @@ class FlightRecord:
             monitor_granularity=data.get("monitor_granularity", "exact"),
             batched=data.get("batched", False),
             workers=data.get("workers", 1),
+            engine=data.get("engine", "unknown"),
             legs=data.get("legs", {}),
             events=data.get("events", []),
             decisions=[
@@ -682,6 +686,7 @@ class FlightRecorder:
             monitor_granularity=config.monitor_granularity,
             batched=config.batched,
             workers=result.stats.workers if result is not None else 1,
+            engine=result.stats.engine if result is not None else "unknown",
             legs=_build_legs(plan, final_legs),
             events=(
                 [event_to_dict(event) for event in result.stats.events]

@@ -60,6 +60,7 @@ FLIGHT_FIELDS: dict[str, tuple[tuple, bool, bool]] = {
     "monitor_granularity": ((str,), False, False),
     "batched": ((bool,), False, False),
     "workers": ((int,), False, False),
+    "engine": ((str,), False, False),
     "legs": ((dict,), True, False),
     "events": ((list,), True, False),
     "decisions": ((list,), True, False),

@@ -1,0 +1,226 @@
+"""Property test: kernel chunk folds == scalar ProbeSample chunk folds.
+
+The chunked vectorized adaptive engine never runs a scalar probe: each
+leg's per-chunk :class:`~repro.core.monitor.AggregatedWindow` fold —
+``(n, index matches, output rows, work units)`` — is derived from the
+columnar index's group-kernel aggregates (``totals`` / ``evals`` /
+``pass_offsets`` / ``ev`` / ``pa`` summed over the chunk's key ranks).
+The engine's correctness contract is that those folds are *numerically
+identical* to what ``AggregatedWindow.observe_chunk`` would receive from
+summing scalar per-probe samples: every cost constant is an exact binary
+fraction, so the quarter-integer float work sums are equal bit for bit
+under any regrouping.
+
+This test checks that equivalence directly against an independent scalar
+reimplementation of the probe (entry walk + short-circuit local evals),
+over randomized leg shapes: random table sizes, NULL keys in the indexed
+column, NULL cells under the local predicates, probe sequences mixing
+present keys, missing keys, and NULL keys, and random chunk boundaries
+(so window eviction folds whole aggregates on both sides).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.monitor import AggregatedWindow
+from repro.db import Database
+from repro.query.predicates import Between, Comparison, IsNull, Op
+from repro.storage.columnar import _np
+from repro.storage.compiled import compile_row_test
+from repro.storage.counters import (
+    INDEX_DESCEND_COST,
+    INDEX_ENTRY_COST,
+    PREDICATE_EVAL_COST,
+    ROW_FETCH_COST,
+)
+
+pytestmark = pytest.mark.skipif(
+    _np is None, reason="group kernels require numpy"
+)
+
+COMPARE_OPS = (Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE)
+STRINGS = ("alpha", "beta", "gamma", "")
+KEY_SPACE = 15
+
+
+def random_rows(rng: random.Random, nrows: int) -> list[tuple]:
+    rows = []
+    for _ in range(nrows):
+        k = None if rng.random() < 0.10 else rng.randint(0, KEY_SPACE)
+        a = None if rng.random() < 0.15 else rng.randint(-20, 20)
+        b = None if rng.random() < 0.15 else round(rng.uniform(-50.0, 50.0), 3)
+        s = None if rng.random() < 0.15 else rng.choice(STRINGS)
+        rows.append((k, a, b, s))
+    return rows
+
+
+def random_predicate(rng: random.Random):
+    column = rng.choice(("a", "b", "s"))
+    if column == "s":
+        value = rng.choice(STRINGS)
+    elif column == "b":
+        value = round(rng.uniform(-50.0, 50.0), 3)
+    else:
+        value = rng.randint(-20, 20)
+    shape = rng.randrange(3)
+    if shape == 0:
+        return Comparison(column, rng.choice(COMPARE_OPS), value)
+    if shape == 1 and column != "s":
+        low, high = sorted((value, -value if column == "a" else 0.0))
+        return Between(column, low, high)
+    return IsNull(column, negated=rng.random() < 0.5)
+
+
+def random_probe_keys(rng: random.Random, n: int) -> list:
+    keys = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.10:
+            keys.append(None)  # NULL key: descend only, no entries
+        elif roll < 0.30:
+            keys.append(rng.randint(KEY_SPACE + 10, KEY_SPACE + 20))  # miss
+        else:
+            keys.append(rng.randint(0, KEY_SPACE))
+    return keys
+
+
+def scalar_sample(key, lookup, raw, tests):
+    """One scalar probe's (index matches, output rows, work units).
+
+    Independent reimplementation of the scalar indexed probe: descend,
+    walk the key's entries in entry order, fetch each candidate row, run
+    the local tests with short-circuit eval counting.
+    """
+    if key is None:
+        return 0, 0, INDEX_DESCEND_COST
+    rids = lookup.get(key, ())
+    count = len(rids)
+    entries = count if count else 1
+    evals = 0
+    output = 0
+    for rid in rids:
+        row = raw[rid]
+        for test in tests:
+            evals += 1
+            if not test(row):
+                break
+        else:
+            output += 1
+    work = (
+        INDEX_DESCEND_COST
+        + entries * INDEX_ENTRY_COST
+        + count * ROW_FETCH_COST
+        + evals * PREDICATE_EVAL_COST
+    )
+    return count, output, work
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_kernel_chunk_folds_match_scalar_probe_folds(seed):
+    rng = random.Random(5_151_000 + seed)
+    db = Database(backend="columnar")
+    db.create_table(
+        "t", [("k", "int"), ("a", "int"), ("b", "float"), ("s", "string")]
+    )
+    db.insert("t", random_rows(rng, rng.randint(1, 150)))
+    db.create_index("t", "k")
+    table = db.catalog.table("t")
+    index = db.catalog.index_on("t", "k")
+    schema = table.schema
+    raw = table.raw_rows()
+
+    predicates = [random_predicate(rng) for _ in range(rng.randrange(3))]
+    local_tests = []
+    for predicate in predicates:
+        test = compile_row_test(predicate, schema)
+        assert test is not None
+        test.predicate = predicate  # as RuntimeLeg attaches it
+        local_tests.append((predicate, test))
+    built = index.cascade_groups(local_tests)
+    assert built is not None, "vectorizable leg refused a kernel"
+    kernel, _keys_np, rank = built
+    tests = [test for _, test in local_tests]
+    present_keys = list(rank)
+    lookup = index.lookup_rids_batch(present_keys) if present_keys else {}
+
+    window_kernel = AggregatedWindow(size=37)
+    window_scalar = AggregatedWindow(size=37)
+    kernel_counts = [[0, 0] for _ in tests]
+    scalar_counts = [[0, 0] for _ in tests]
+
+    for _ in range(rng.randint(1, 6)):  # several chunks: exercise eviction
+        chunk = random_probe_keys(rng, rng.randint(1, 60))
+        flow = len(chunk)
+
+        # -- kernel side: the engine's per-chunk aggregate ---------------
+        ranks = _np.asarray(
+            [-1 if key is None else rank.get(key, -2) for key in chunk],
+            dtype=_np.int64,
+        )
+        present_ranks = ranks[ranks >= 0]
+        missing = int(_np.count_nonzero(ranks == -2))
+        if len(present_ranks):
+            touched = int(kernel.totals[present_ranks].sum())
+            evals = int(kernel.evals[present_ranks].sum())
+            offsets = kernel.pass_offsets
+            output = int(
+                (offsets[present_ranks + 1] - offsets[present_ranks]).sum()
+            )
+            for slot in range(len(tests)):
+                kernel_counts[slot][0] += int(
+                    kernel.ev[slot][present_ranks].sum()
+                )
+                kernel_counts[slot][1] += int(
+                    kernel.pa[slot][present_ranks].sum()
+                )
+        else:
+            touched = evals = output = 0
+        entries = touched + missing
+        window_kernel.observe_chunk(
+            flow,
+            touched,
+            output,
+            flow * INDEX_DESCEND_COST
+            + entries * INDEX_ENTRY_COST
+            + touched * ROW_FETCH_COST
+            + evals * PREDICATE_EVAL_COST,
+        )
+
+        # -- scalar side: sum per-probe samples, fold once ---------------
+        sum_matches = 0
+        sum_output = 0
+        sum_work = 0.0
+        for key in chunk:
+            matches, out_rows, work = scalar_sample(key, lookup, raw, tests)
+            sum_matches += matches
+            sum_output += out_rows
+            sum_work += work
+            if key is not None:
+                for slot, test in enumerate(tests):
+                    for rid in lookup.get(key, ()):
+                        row = raw[rid]
+                        ok = True
+                        for prior in tests[:slot]:
+                            if not prior(row):
+                                ok = False
+                                break
+                        if not ok:
+                            continue  # short-circuited before this test
+                        scalar_counts[slot][0] += 1
+                        if test(row):
+                            scalar_counts[slot][1] += 1
+        window_scalar.observe_chunk(flow, sum_matches, sum_output, sum_work)
+
+        # Bit-identical at every chunk boundary, not just at the end.
+        assert len(window_kernel) == len(window_scalar)
+        assert window_kernel.sum_matches == window_scalar.sum_matches
+        assert window_kernel.sum_output == window_scalar.sum_output
+        assert window_kernel.sum_work == window_scalar.sum_work
+
+    # Per-test (evaluated, passed) local-predicate counters agree too —
+    # these feed the controller's rank-rule selectivity estimates.
+    assert kernel_counts == scalar_counts
+    db.close()
