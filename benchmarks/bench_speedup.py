@@ -41,6 +41,16 @@ work-unit critical path (``ExecutionStats.critical_path_work``), the
 machine-independent analogue of parallel elapsed time — this container may
 not have enough cores for wall-clock parallelism.
 
+A ``parallel_vector`` section measures the partitioned vectorized
+cascades in *wall clock*: per mode it times the row scalar pipeline and
+the serial columnar cascade (static for mode NONE, chunked adaptive for
+monitored modes), then each worker count with one unmeasured warm-up
+pass (pool fork + COW-shared kernel plan happen off the clock), and
+records the engines every partition ran. Under ``--check`` the engines
+must be the mode's vectorized cascades (vacuity gate, numpy only);
+full-scale runs on machines with >= PARALLEL_VECTOR_MIN_CPUS cores
+additionally hold absolute speedup floors at 4 workers.
+
 A third section measures the always-on flight recorder: the adaptive
 six-table workload runs disarmed and with a recorder-armed (cold) bundle,
 interleaved min-of-reps, and reports the armed wall overhead. The recorder
@@ -62,6 +72,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -87,6 +98,15 @@ REGRESSION_TOLERANCE = 0.90
 #: --check fails when an armed flight recorder costs more than this much
 #: wall time over the disarmed adaptive run (the recorder's ≤5% budget).
 OBSERVABILITY_GATE_PCT = 5.0
+
+#: Absolute wall-clock floors for the ``parallel_vector`` section at 4
+#: workers, applied under ``--check`` on full-scale runs with at least
+#: PARALLEL_VECTOR_MIN_CPUS cores (a 1-core container cannot express
+#: wall-clock parallelism; the engine vacuity gates still apply there).
+PARALLEL_VECTOR_NONE_FLOOR = 2.0    # mode NONE vs the serial static cascade
+PARALLEL_VECTOR_ROW_FLOOR = 60.0    # mode NONE vs the row scalar pipeline
+PARALLEL_VECTOR_BOTH_FLOOR = 1.7    # mode BOTH vs the serial adaptive cascade
+PARALLEL_VECTOR_MIN_CPUS = 4
 
 #: Scan-heavy queries for the workers sweep: driving scans with thousands
 #: of entries partition well; the six-table templates (driving from the
@@ -269,6 +289,100 @@ def measure_parallel(
     return section
 
 
+def measure_parallel_vector(
+    row_db, columnar_db, workload, workers_sweep: tuple[int, ...],
+    modes, reps: int,
+) -> dict[str, dict]:
+    """Wall-clock speedups of the partitioned vectorized cascades.
+
+    Per mode, two scale-matched serial baselines run first (min of
+    *reps*): the row scalar pipeline and the serial vectorized cascade on
+    the columnar backend (mode NONE: the static cascade; monitored modes:
+    the chunked adaptive cascade). Each worker count then runs the same
+    columnar configuration partitioned — one unmeasured warm-up pass
+    builds the fork pool and the COW-shared kernel plan, then min-of-reps
+    wall — and reports its speedup over both baselines plus the engines
+    every partition actually ran (``ExecutionStats.worker_engines``).
+    Result rows are verified against the row backend per query.
+    """
+    section: dict[str, dict] = {}
+    for mode in modes:
+        granularity = "chunk" if mode.monitors else "exact"
+        row_config = AdaptiveConfig(mode=mode)
+        serial_config = AdaptiveConfig(
+            mode=mode, batched=True, monitor_granularity=granularity
+        )
+        reference: dict[str, list] = {}
+        row_wall = serial_wall = float("inf")
+        serial_engines: set[str] = set()
+        for rep in range(reps):
+            total = 0.0
+            for qid, sql in workload:
+                outcome = row_db.execute(sql, row_config)
+                total += outcome.stats.wall_seconds
+                if rep == 0:
+                    reference[qid] = sorted(outcome.rows)
+            row_wall = min(row_wall, total)
+            total = 0.0
+            for qid, sql in workload:
+                outcome = columnar_db.execute(sql, serial_config)
+                total += outcome.stats.wall_seconds
+                if rep == 0:
+                    serial_engines.add(outcome.stats.engine)
+                    if sorted(outcome.rows) != reference[qid]:
+                        raise AssertionError(
+                            f"{qid}: serial columnar changed the result set"
+                        )
+            serial_wall = min(serial_wall, total)
+        entry: dict = {
+            "row_scalar_wall_seconds": row_wall,
+            "serial_vector_wall_seconds": serial_wall,
+            "serial_engines": sorted(serial_engines),
+            "sweep": {},
+        }
+        for workers in workers_sweep:
+            if workers < 2:
+                continue
+            config = AdaptiveConfig(
+                mode=mode,
+                batched=True,
+                monitor_granularity=granularity,
+                workers=workers,
+            )
+            for _, sql in workload:  # warm-up: fork pool + kernel plan
+                columnar_db.execute(sql, config)
+            best = float("inf")
+            engines: set[str] = set()
+            gate = None
+            for rep in range(reps):
+                total = 0.0
+                for qid, sql in workload:
+                    outcome = columnar_db.execute(sql, config)
+                    total += outcome.stats.wall_seconds
+                    if rep == 0:
+                        stats = outcome.stats
+                        engines.update(
+                            stats.worker_engines or (stats.engine,)
+                        )
+                        if gate is None and stats.vector_gate:
+                            gate = stats.vector_gate
+                        if sorted(outcome.rows) != reference[qid]:
+                            raise AssertionError(
+                                f"{qid}: workers={workers} changed the "
+                                f"result set"
+                            )
+                best = min(best, total)
+            entry["sweep"][str(workers)] = {
+                "wall_seconds": best,
+                "worker_engines": sorted(engines),
+                "vector_gate": gate,
+                "speedup_vs_serial_vector": serial_wall / best,
+                "speedup_vs_row_scalar": row_wall / best,
+            }
+        section[mode.name.lower()] = entry
+    return section
+
+
 def measure_observability(db, queries, reps: int) -> dict:
     """Armed-recorder vs disarmed wall time on the adaptive workload.
 
@@ -394,6 +508,23 @@ def report_regressions(output_path: str, payload: dict) -> list[str]:
                 lines.append(
                     f"REGRESSION: parallel mode {mode} workers={workers} "
                     f"speedup {new:.2f}x < stored baseline {old:.2f}x"
+                )
+    for mode, entry in payload.get("parallel_vector", {}).items():
+        old_entry = baseline.get("parallel_vector", {}).get(mode, {})
+        for workers, data in entry.get("sweep", {}).items():
+            new = data.get("speedup_vs_serial_vector")
+            old = (
+                old_entry.get("sweep", {})
+                .get(workers, {})
+                .get("speedup_vs_serial_vector")
+            )
+            if new is None or old is None:
+                continue
+            if new < old * REGRESSION_TOLERANCE:
+                lines.append(
+                    f"REGRESSION: parallel_vector mode {mode} "
+                    f"workers={workers} speedup {new:.2f}x < stored "
+                    f"baseline {old:.2f}x"
                 )
     return lines
 
@@ -583,6 +714,82 @@ def main(argv: list[str] | None = None) -> int:
                 f" w{workers}={data['speedup_vs_workers_1']:.2f}x"
             )
         print(line)
+
+    # Partitioned vectorized cascades: wall-clock speedups of the
+    # parallel columnar engine over its two serial baselines, per mode.
+    from repro.storage.columnar import _np as _have_numpy
+
+    payload["parallel_vector"] = measure_parallel_vector(
+        db, columnar_db, parallel_workload, parallel_sweep, modes, args.reps
+    )
+    for mode_name, entry in payload["parallel_vector"].items():
+        line = (
+            f"parallel_vector {mode_name:8s} "
+            f"row={entry['row_scalar_wall_seconds']:.3f}s "
+            f"serial={entry['serial_vector_wall_seconds']:.3f}s"
+        )
+        for workers, data in entry["sweep"].items():
+            line += (
+                f" w{workers}={data['wall_seconds']:.3f}s "
+                f"({data['speedup_vs_serial_vector']:.2f}x serial, "
+                f"{data['speedup_vs_row_scalar']:.2f}x row)"
+            )
+        print(line)
+        # Vacuity guard: every partition (and continuation) of every
+        # sweep point must have run the mode's vectorized cascade.
+        expected_engines = (
+            {"vector"}
+            if mode_name == "none"
+            else {"vector-adaptive", "vector-adaptive+fast"}
+        )
+        if _have_numpy is not None:
+            for workers, data in entry["sweep"].items():
+                stray = set(data["worker_engines"]) - expected_engines
+                if stray:
+                    print(
+                        f"CHECK FAILED: parallel_vector mode {mode_name} "
+                        f"workers={workers} ran non-vector engine(s): "
+                        f"{sorted(stray)} "
+                        f"(gate: {data['vector_gate']!r})",
+                        file=sys.stderr,
+                    )
+                    engine_gate_failed = True
+        # Absolute wall-clock floors need real cores and full scale; a
+        # quick run or a starved container still enforces the vacuity
+        # gate above but records the honest wall numbers without gating.
+        cpus = os.cpu_count() or 1
+        if (
+            _have_numpy is not None
+            and not args.quick
+            and cpus >= PARALLEL_VECTOR_MIN_CPUS
+            and "4" in entry["sweep"]
+        ):
+            at4 = entry["sweep"]["4"]
+            floors = (
+                [
+                    ("vs serial static cascade",
+                     at4["speedup_vs_serial_vector"],
+                     PARALLEL_VECTOR_NONE_FLOOR),
+                    ("vs row scalar",
+                     at4["speedup_vs_row_scalar"],
+                     PARALLEL_VECTOR_ROW_FLOOR),
+                ]
+                if mode_name == "none"
+                else [
+                    ("vs serial adaptive cascade",
+                     at4["speedup_vs_serial_vector"],
+                     PARALLEL_VECTOR_BOTH_FLOOR),
+                ]
+            )
+            for label, actual, floor in floors:
+                if actual < floor:
+                    print(
+                        f"CHECK FAILED: parallel_vector mode {mode_name} "
+                        f"workers=4 speedup {label} {actual:.2f}x below "
+                        f"the {floor:.1f}x floor",
+                        file=sys.stderr,
+                    )
+                    engine_gate_failed = True
 
     regressions = report_regressions(args.output, payload)
     for line in regressions:

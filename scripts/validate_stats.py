@@ -8,7 +8,9 @@ issues ``{"op": "stats"}``, and checks the response document:
   ``queries``, ``plan_cache``, ``telemetry``, ``storage`` all present,
   each an object with exactly the documented keys; ``per_session`` is a
   list with one counter object per connected session and ``per_table``
-  a list with one footprint object per catalog table;
+  a list with one footprint object per catalog table; ``engines`` maps
+  known engine names to per-query served counts (``--expect-engine``
+  asserts a specific engine — e.g. ``parallel`` — actually ran);
 * types: counters are non-negative numbers, ``draining`` is a bool,
   quantiles are numbers or null;
 * invariants: ``in_flight <= max_concurrency``,
@@ -92,7 +94,21 @@ SCHEMA = {
         "backend": "string",
         "total_bytes": "count",
         "table_count": "count",
+        "kernel_plan_bytes": "count",
     },
+}
+
+#: Engine names the server may report in the ``engines`` section (the
+#: per-query ``ExecutionStats.engine`` values).
+KNOWN_ENGINES = {
+    "scalar",
+    "batched",
+    "turbo",
+    "vector",
+    "fast",
+    "vector-adaptive",
+    "vector-adaptive+fast",
+    "parallel",
 }
 
 #: Sections whose body is a list of objects (one entry per item).
@@ -110,6 +126,7 @@ LIST_SCHEMA = {
         "backend": "string",
         "rows": "count",
         "bytes": "count",
+        "kernel_bytes": "count",
     },
 }
 
@@ -143,9 +160,16 @@ def validate(stats: dict) -> list[str]:
     """Raises ValidationError on the first violation; returns notes."""
     if not isinstance(stats, dict):
         raise ValidationError(f"stats document is not an object: {stats!r}")
-    extra_sections = set(stats) - set(SCHEMA) - set(LIST_SCHEMA)
+    extra_sections = set(stats) - set(SCHEMA) - set(LIST_SCHEMA) - {"engines"}
     if extra_sections:
         raise ValidationError(f"unknown sections: {sorted(extra_sections)}")
+    engines = stats.get("engines")
+    if not isinstance(engines, dict):
+        raise ValidationError("missing/invalid section 'engines'")
+    for name, value in engines.items():
+        if name not in KNOWN_ENGINES:
+            raise ValidationError(f"engines: unknown engine {name!r}")
+        check_type(f"engines.{name}", value, "count")
     for section, fields in SCHEMA.items():
         body = stats.get(section)
         if not isinstance(body, dict):
@@ -248,6 +272,11 @@ def validate(stats: dict) -> list[str]:
                 f"{entry['backend']!r} != storage.backend "
                 f"{storage['backend']!r}"
             )
+    if sum(engines.values()) > outcomes:
+        raise ValidationError(
+            f"engines counters sum to {sum(engines.values())} but only "
+            f"{outcomes} outcomes were recorded"
+        )
     return [
         f"uptime {stats['server']['uptime_s']}s",
         f"{int(outcomes)} queries",
@@ -255,6 +284,13 @@ def validate(stats: dict) -> list[str]:
         f"cache {int(cache['hits'])}h/{int(cache['misses'])}m",
         f"storage {storage['backend']} {int(storage['total_bytes']):,}B"
         f"/{int(storage['table_count'])} tables",
+        "engines "
+        + (
+            ", ".join(
+                f"{name}={int(engines[name])}" for name in sorted(engines)
+            )
+            or "none"
+        ),
     ]
 
 
@@ -287,6 +323,12 @@ def main() -> int:
         default=None,
         help="validate a saved stats JSON document instead of a live server",
     )
+    parser.add_argument(
+        "--expect-engine",
+        default=None,
+        choices=sorted(KNOWN_ENGINES),
+        help="additionally require at least one query served by this engine",
+    )
     args = parser.parse_args()
     try:
         if args.file:
@@ -295,6 +337,13 @@ def main() -> int:
         else:
             stats = asyncio.run(fetch_stats(args.host, args.port))
         notes = validate(stats)
+        if args.expect_engine is not None:
+            served = stats.get("engines", {}).get(args.expect_engine, 0)
+            if not served:
+                raise ValidationError(
+                    f"expected engine {args.expect_engine!r} to have served "
+                    f"queries, engines={stats.get('engines')!r}"
+                )
     except ValidationError as error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1

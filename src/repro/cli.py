@@ -254,11 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine-workers",
+        "--workers",
+        dest="engine_workers",
         type=int,
         default=1,
         metavar="N",
         help="intra-query parallel workers granted to fully-admitted "
-        "queries (1 = serial; default 1)",
+        "queries (1 = serial; default 1; --workers is an alias)",
     )
     serve.add_argument(
         "--batch-size",
@@ -410,8 +412,16 @@ def _warn_vector_gate(result, cli_args) -> None:
         return
     stats = result.stats
     # "vector-adaptive+fast" is a mid-query handoff, not an option
-    # problem; scalar/parallel runs never promised the cascade.
-    if stats.engine not in ("batched", "turbo", "fast"):
+    # problem; scalar runs never promised the cascade. Parallel runs
+    # report per-partition engines: warn only when NO partition (nor the
+    # serial continuation) ran a cascade — a partial demotion is a
+    # per-worker gate, not an option problem.
+    if stats.engine == "parallel":
+        if not stats.worker_engines or any(
+            engine.startswith("vector") for engine in stats.worker_engines
+        ):
+            return
+    elif stats.engine not in ("batched", "turbo", "fast"):
         return
     if stats.vector_gate is None:
         return
@@ -423,15 +433,21 @@ def _warn_vector_gate(result, cli_args) -> None:
     )
 
 
-def _make_config(mode: ReorderMode, cli_args) -> AdaptiveConfig:
-    """AdaptiveConfig for *mode* with the CLI's executor knobs applied."""
+def _make_config(
+    mode: ReorderMode, cli_args, serial: bool = False
+) -> AdaptiveConfig:
+    """AdaptiveConfig for *mode* with the CLI's executor knobs applied.
+
+    ``serial=True`` drops ``--workers`` — used for the static baseline of
+    a comparison run so work comparisons keep meaning. A standalone run
+    (including ``--mode none``, which partitions the static vectorized
+    cascade on the columnar backend) gets the partitioned path.
+    """
     batch_size = getattr(cli_args, "batch_size", None)
     probe_cache = getattr(cli_args, "probe_cache", None)
     workers = getattr(cli_args, "workers", 1) or 1
     kwargs: dict = {"mode": mode}
-    if workers > 1 and mode is not ReorderMode.NONE:
-        # The static baseline stays serial so work comparisons keep meaning;
-        # the adaptive run gets the partitioned path.
+    if workers > 1 and not serial:
         kwargs["workers"] = workers
     if batch_size is not None or probe_cache is not None:
         kwargs["batched"] = True
@@ -456,7 +472,13 @@ def _run_query(
         print()
     try:
         static = db.execute(
-            sql, _make_config(ReorderMode.NONE, cli_args), limits=limits
+            sql,
+            _make_config(
+                ReorderMode.NONE,
+                cli_args,
+                serial=mode is not ReorderMode.NONE,
+            ),
+            limits=limits,
         )
     except BudgetExceeded as error:
         print(f"static:   budget exceeded — {error.progress_summary()}")

@@ -20,6 +20,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -104,8 +105,13 @@ class ExecutionStats:
     engine: str = "scalar"
     # Why the vectorized cascade did NOT run (first failed gate), when the
     # batched path fell back to a generic loop; None when it ran or was
-    # never a candidate.
+    # never a candidate. For parallel runs this is the first gate reason
+    # any partition (or the serial continuation) reported.
     vector_gate: str | None = None
+    # Parallel partitioned execution only: the engine each partition ran,
+    # in dispatch order, plus the serial continuation's engine when one
+    # drained the scan. Empty for serial runs.
+    worker_engines: tuple[str, ...] = ()
 
     @property
     def total_work(self) -> float:
@@ -167,6 +173,10 @@ class Database:
         # Persistent fork pool for parallel partitioned execution; built on
         # first use, invalidated when the catalog generation changes.
         self._parallel_pool = None
+        # Serializes pool lifecycle + partitioned execution across server
+        # threads: a concurrent warm-up may invalidate (close) the pool,
+        # which must never happen while another thread is mid-wave on it.
+        self._parallel_lock = threading.Lock()
 
     @property
     def backend_name(self) -> str:
@@ -175,32 +185,46 @@ class Database:
     def storage_stats(self) -> dict:
         """Per-table memory footprint of the active backend.
 
-        Returns ``{"backend", "total_bytes", "table_count", "per_table"}``
-        where each per-table entry reports the approximate resident bytes
-        of that table's storage (typed column arrays for ``columnar``, row
-        tuples + cells for ``row``) — the observable half of the columnar
-        backend's memory savings.
+        Returns ``{"backend", "total_bytes", "table_count",
+        "kernel_plan_bytes", "per_table"}`` where each per-table entry
+        reports the approximate resident bytes of that table's storage
+        (typed column arrays for ``columnar``, row tuples + cells for
+        ``row``) — the observable half of the columnar backend's memory
+        savings — plus ``kernel_bytes``, the numpy sidecar/group-kernel
+        plan bytes currently materialized on that table's indexes. The
+        kernel gauge makes pre-fork warm-up observable: after
+        ``warm_kernel_plan`` (or a first vectorized run) it is non-zero,
+        and parallel workers COW-share exactly those bytes.
         """
-        from repro.storage.columnar import table_memory_footprint
+        from repro.storage.columnar import ColumnarIndex, table_memory_footprint
 
         backend = self.backend_name
         per_table = []
         total = 0
+        kernel_total = 0
         for name in self.catalog.table_names():
             footprint = table_memory_footprint(self.catalog.table(name))
             total += footprint["bytes"]
+            kernel_bytes = sum(
+                index.kernel_footprint()
+                for index in self.catalog._indexes.get(name, {}).values()
+                if isinstance(index, ColumnarIndex)
+            )
+            kernel_total += kernel_bytes
             per_table.append(
                 {
                     "table": name,
                     "backend": backend,
                     "rows": footprint["rows"],
                     "bytes": footprint["bytes"],
+                    "kernel_bytes": kernel_bytes,
                 }
             )
         return {
             "backend": backend,
             "total_bytes": total,
             "table_count": len(per_table),
+            "kernel_plan_bytes": kernel_total,
             "per_table": per_table,
         }
 
@@ -516,6 +540,8 @@ class Database:
             critical_path_work=outcome.critical_path_units,
             workers=outcome.workers_used,
             engine="parallel",
+            vector_gate=outcome.vector_gate,
+            worker_engines=tuple(outcome.worker_engines),
         )
         if query_span is not None:
             tracer.end(
@@ -574,10 +600,17 @@ class Database:
         carries a GC finalizer, so an abandoned Database cannot leak
         children — but deterministic cleanup should call close()).
         """
-        pool = getattr(self, "_parallel_pool", None)
-        if pool is not None:
-            pool.close()
-            self._parallel_pool = None
+        lock = getattr(self, "_parallel_lock", None)
+        if lock is not None:
+            lock.acquire()
+        try:
+            pool = getattr(self, "_parallel_pool", None)
+            if pool is not None:
+                pool.close()
+                self._parallel_pool = None
+        finally:
+            if lock is not None:
+                lock.release()
 
     def __enter__(self) -> "Database":
         return self

@@ -113,6 +113,7 @@ class RuntimeLeg:
         "monitoring_enabled",
         "monitor",
         "driving_monitor",
+        "pending_driving_monitor",
         "positional",
         "_history_window",
         "local_tests",
@@ -156,6 +157,13 @@ class RuntimeLeg:
         self.monitoring_enabled = monitoring_enabled
         self.monitor = LegMonitor(history_window, aggregated=aggregated_monitor)
         self.driving_monitor: DrivingMonitor | None = None
+        # One-shot pre-seeded scan monitor: when a coordinator injects
+        # merged worker statistics *before* the executor opens its driving
+        # cursor (the parallel serial continuation), the open consumes this
+        # instead of starting a fresh monitor — otherwise the merged scan
+        # counters would be clobbered and the continuation's first driving
+        # check would see an unwarmed S_LPR.
+        self.pending_driving_monitor: DrivingMonitor | None = None
         self.positional: PositionalPredicate | None = None
         self._history_window = history_window
         # (predicate, compiled test) pairs; predicate objects kept for
@@ -1533,7 +1541,14 @@ class RuntimeLeg:
                     stop_at=stop_at,
                     partition_entry_count=entry_count,
                 )
-        self.driving_monitor = DrivingMonitor(self._history_window)
+        if self.pending_driving_monitor is not None:
+            # Injected merged statistics (parallel continuation): keep the
+            # pre-seeded monitor for the first open only; driving switches
+            # and resumes still restart the scan monitor below.
+            self.driving_monitor = self.pending_driving_monitor
+            self.pending_driving_monitor = None
+        else:
+            self.driving_monitor = DrivingMonitor(self._history_window)
         return cursor
 
     def driving_rows(self, cursor: Cursor) -> Iterator[Row]:

@@ -39,6 +39,13 @@ class LegWindowSnapshot:
     lifetime: int             # lifetime incoming rows (warmup gating)
     # Per-predicate-slot [evaluated, passed] counts (local selectivities).
     local_counts: tuple[tuple[int, int], ...] = ()
+    # Deferred chunk fold (LegMonitor.defer_chunk accumulator) captured
+    # before the worker flushed it — non-zero only when a snapshot lands
+    # inside a driving chunk. Re-applied host-side in the serial fold
+    # order: window contents first, then this aggregate. All work-cost
+    # constants are exact binary fractions, so the regrouped float sums
+    # are bit-identical to a serial flush.
+    pending: tuple[int, int, int, float] = (0, 0, 0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,7 @@ def snapshot_executor(pipeline: "PipelineExecutor") -> MonitorSnapshot:
             local_counts=tuple(
                 (counts[0], counts[1]) for counts in leg.local_counts
             ),
+            pending=leg.monitor.pending_chunk(),
         )
     driving = None
     monitor = pipeline.legs[pipeline.order[0]].driving_monitor
@@ -96,7 +104,9 @@ def merge_snapshots(snapshots: list[MonitorSnapshot]) -> MonitorSnapshot:
     saw_driving = False
     for snapshot in snapshots:
         for alias, leg in snapshot.legs.items():
-            totals = leg_totals.setdefault(alias, [0, 0, 0, 0.0, 0, None])
+            totals = leg_totals.setdefault(
+                alias, [0, 0, 0, 0.0, 0, None, [0, 0, 0, 0.0]]
+            )
             totals[0] += leg.samples
             totals[1] += leg.sum_matches
             totals[2] += leg.sum_output
@@ -108,6 +118,11 @@ def merge_snapshots(snapshots: list[MonitorSnapshot]) -> MonitorSnapshot:
                 for slot, (evaluated, passed) in enumerate(leg.local_counts):
                     totals[5][slot][0] += evaluated
                     totals[5][slot][1] += passed
+            pending = totals[6]
+            pending[0] += leg.pending[0]
+            pending[1] += leg.pending[1]
+            pending[2] += leg.pending[2]
+            pending[3] += leg.pending[3]
         if snapshot.driving is not None:
             saw_driving = True
             drv[0] += snapshot.driving.entries_scanned
@@ -123,6 +138,9 @@ def merge_snapshots(snapshots: list[MonitorSnapshot]) -> MonitorSnapshot:
             lifetime=totals[4],
             local_counts=tuple(
                 (pair[0], pair[1]) for pair in (totals[5] or ())
+            ),
+            pending=(
+                totals[6][0], totals[6][1], totals[6][2], totals[6][3]
             ),
         )
         for alias, totals in leg_totals.items()
@@ -165,6 +183,15 @@ def inject_into_host(
                 leg_snapshot.sum_work,
             )
         window.lifetime_samples = leg_snapshot.lifetime
+        pending = leg_snapshot.pending
+        if pending[0] > 0:
+            # Serial fold order: the window contents entered first, the
+            # deferred chunk fold flushes after — the same single
+            # observe_chunk a serial LegMonitor.flush_chunk would apply.
+            window.observe_chunk(
+                pending[0], pending[1], pending[2], pending[3]
+            )
+            window.lifetime_samples = leg_snapshot.lifetime + pending[0]
         leg.monitor.window = window
         if leg_snapshot.local_counts and len(leg_snapshot.local_counts) == len(
             leg.local_counts
@@ -180,3 +207,7 @@ def inject_into_host(
         monitor._recent_scanned = merged.driving.recent_scanned
         monitor._recent_survived = merged.driving.recent_survived
         driving_leg.driving_monitor = monitor
+        # If the host has not opened its driving cursor yet (the serial
+        # continuation injects before running), the open must consume this
+        # monitor instead of clobbering it with a fresh one.
+        driving_leg.pending_driving_monitor = monitor

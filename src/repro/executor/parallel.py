@@ -45,6 +45,24 @@ meter, so ``ExecutionStats.work`` keeps its meaning. The one documented
 divergence from a serial run is up to one extra ``INDEX_DESCEND`` charge
 per key range per extra partition that enters it (each bounded cursor
 descends into the range it resumes).
+
+Vectorized partitions: when the columnar backend and chunk-granularity
+monitoring are active, each worker's pipeline runs the PR 9 vectorized
+cascades over its :class:`ScanPartition` — the static cascade under mode
+``NONE`` and the chunked adaptive cascade under the monitored modes, with
+kernel-folded monitoring and local kept-inner reorders mid-partition.
+:func:`warm_kernel_plan` materializes the numpy column arrays, CSR index
+sidecars, and per-predicate group kernels on the catalog *before* the
+fork pool is created, so workers COW-share one copy instead of each
+rebuilding them. A cascade gate failure inside a worker demotes only that
+partition to the generic loop (its engine is reported per worker on
+``ExecutionStats.worker_engines`` with the first gate reason on
+``vector_gate``); siblings keep their cascades. Deferred chunk folds that
+are still pending at a snapshot are merged at wave barriers in the serial
+fold order (see :mod:`repro.executor.monitor_merge`), so coordinator
+driving decisions see the same windows a serial cascade would, and the
+serial continuation resumes the cascade rather than falling back to
+scalar.
 """
 
 from __future__ import annotations
@@ -53,6 +71,8 @@ import dataclasses
 import heapq
 import multiprocessing
 import pickle
+import signal
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -127,6 +147,12 @@ class _WorkerResult:
     inner_reorders: int
     inner_checks: int
     final_order: tuple[str, ...]
+    # Which engine ran this partition ("vector" / "vector-adaptive" / ...)
+    # and, when a cascade gate failed in-worker, why. A gate failure
+    # demotes only this worker to its generic loop — siblings that pass
+    # the gates keep their cascades.
+    engine: str = "scalar"
+    vector_gate: str | None = None
     # Counter name -> label -> value, from the worker's metrics registry.
     metrics: dict[str, dict[str, float]] | None = None
 
@@ -190,8 +216,83 @@ def _run_partition_task(task: _WorkerTask) -> _WorkerResult:
         inner_reorders=executor.inner_reorders,
         inner_checks=controller.inner_checks if controller is not None else 0,
         final_order=tuple(executor.order),
+        engine=executor.engine_used,
+        vector_gate=executor.vector_gate_reason,
         metrics=metrics,
     )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-plan warm-up (pre-fork)
+# ---------------------------------------------------------------------------
+def warm_kernel_plan(
+    catalog: "Catalog", plan: PipelinePlan, config: AdaptiveConfig
+) -> bool:
+    """Materialize the plan's columnar kernel state on catalog objects.
+
+    The vectorized cascades lazily build numpy sidecars (CSR entry
+    arrays), per-predicate group kernels, materialized row caches, and
+    the lazily-built index entry lists the rank models read. All of that
+    lives on catalog-owned tables/indexes, so building it *before* the
+    fork pool is (re)created lets every worker inherit the arrays
+    copy-on-write instead of rebuilding them per process. Returns True
+    when anything new was built — the caller bumps its warm epoch so
+    :func:`ensure_pool` re-forks and the children actually see the
+    arrays. Never charges the work meter (no cursors are opened) and
+    never mutates rows, so a throwaway compile is safe.
+    """
+    from repro.executor.vector import _adaptive_plan, _np
+    from repro.storage.columnar import ColumnarIndex, ColumnarTable
+
+    if _np is None or not config.batched:
+        return False
+    tables = [catalog.table(plan.query.tables[alias]) for alias in plan.order]
+    if not any(isinstance(table, ColumnarTable) for table in tables):
+        return False
+    from repro.executor.batch import BatchedPipelineExecutor
+
+    changed = False
+    for table in tables:
+        if isinstance(table, ColumnarTable):
+            if len(table._rows) != len(table):
+                changed = True
+            table._materialized()
+    executor = BatchedPipelineExecutor(plan, catalog, _serial_config(config))
+    executor._compile_all_probes(start_position=1)
+    # Driving-side sidecar: the cascade's entry walk reads _ent_rids.
+    driving_leg = executor.legs[plan.order[0]]
+    spec = plan.leg(plan.order[0]).driving
+    if spec.kind is DrivingKind.INDEX_SCAN and spec.index_column:
+        index = driving_leg.indexes.get(spec.index_column)
+        if isinstance(index, ColumnarIndex):
+            if index._gen is None or index._gen != index._generation():
+                changed = True
+            index._sidecar()
+    # Inner-side sidecars + group kernels + key translators, exactly the
+    # objects adaptive_cascade/vector_cascade will look up in-worker.
+    kernel_count = 0
+    indexes: list[ColumnarIndex] = []
+    for position in range(1, len(plan.order)):
+        leg = executor.legs[plan.order[position]]
+        probe = leg.probe_config
+        if probe is not None and isinstance(probe.access_index, ColumnarIndex):
+            indexes.append(probe.access_index)
+    for index in indexes:
+        if index._gen is None or index._gen != index._generation():
+            changed = True
+        kernel_count += len(index._kernels)
+    _adaptive_plan(executor)
+    if sum(len(index._kernels) for index in indexes) != kernel_count:
+        changed = True
+    # Force the rank models once: TableModel construction walks
+    # count_range over each leg's driving index, building any
+    # still-lazy entry lists the coordinator's reorder checks (and the
+    # workers' in-partition checks) would otherwise build per process.
+    builder = RuntimeModelBuilder(executor)
+    provider = builder.build_provider()
+    for alias in plan.order:
+        provider.models[alias]
+    return changed
 
 
 # ---------------------------------------------------------------------------
@@ -216,19 +317,44 @@ def _terminate_pool(pool) -> None:
     pool.join()
 
 
+def _pool_worker_init() -> None:
+    """Reset inherited signal state in a freshly forked pool worker.
+
+    Children fork from whatever process owns the Database — under the
+    query server that process has an asyncio SIGTERM drain handler (and
+    a signal wakeup fd) installed, and a child inheriting it would treat
+    the SIGTERM sent by ``Pool.terminate()`` as a drain request it can
+    never act on: pool invalidation (or server shutdown) would then hang
+    forever joining an unkillable worker. Restore the default SIGTERM
+    disposition so terminate() works; ignore SIGINT so a console Ctrl-C
+    interrupts only the coordinator, which then tears the pool down.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 class WorkerPool:
     """A persistent fork pool bound to one catalog generation."""
 
-    def __init__(self, catalog: "Catalog", workers: int) -> None:
+    def __init__(
+        self, catalog: "Catalog", workers: int, warm_epoch: int = 0
+    ) -> None:
         global _WORKER_CATALOG
         self.workers = workers
         self.generation = catalog_generation(catalog)
+        # Kernel-plan warm epoch at fork time: bumped by the coordinator
+        # whenever warm_kernel_plan built new columnar arrays, so the pool
+        # re-forks and the children COW-share them instead of rebuilding.
+        self.warm_epoch = warm_epoch
         context = multiprocessing.get_context("fork")
         # The module global is read by children at fork time (COW); restore
         # it afterwards so the parent keeps no extra reference.
         _WORKER_CATALOG = catalog
         try:
-            self.pool = context.Pool(processes=workers)
+            self.pool = context.Pool(
+                processes=workers, initializer=_pool_worker_init
+            )
         finally:
             _WORKER_CATALOG = None
         # Guarantee the forked children are reaped even when the owning
@@ -247,19 +373,45 @@ class WorkerPool:
         self._finalizer()
 
 
+#: Guards lazy creation of per-holder parallel locks (non-Database
+#: holders in tests; Database creates its own in __init__).
+_LOCK_GUARD = threading.Lock()
+
+
+def _holder_parallel_lock(holder: Any) -> threading.Lock:
+    """The lock serializing *holder*'s pool lifecycle and partitioned runs.
+
+    Concurrent server threads may execute parallel queries against one
+    shared Database; a warm-up or generation change in one thread
+    invalidates (closes) the pool, which must never happen while another
+    thread is mid-wave on it. Serializing whole partitioned executions is
+    the simple safe answer — a parallel query already wants every core,
+    so two running concurrently would only fight each other anyway.
+    """
+    lock = getattr(holder, "_parallel_lock", None)
+    if lock is None:
+        with _LOCK_GUARD:
+            lock = getattr(holder, "_parallel_lock", None)
+            if lock is None:
+                lock = threading.Lock()
+                holder._parallel_lock = lock
+    return lock
+
+
 def ensure_pool(
-    holder: Any, catalog: "Catalog", workers: int
+    holder: Any, catalog: "Catalog", workers: int, warm_epoch: int = 0
 ) -> WorkerPool:
     """Get (or rebuild) *holder*'s pool for this catalog generation."""
     pool: WorkerPool | None = getattr(holder, "_parallel_pool", None)
     if pool is not None and (
         pool.workers != workers
         or pool.generation != catalog_generation(catalog)
+        or pool.warm_epoch != warm_epoch
     ):
         pool.close()
         pool = None
     if pool is None:
-        pool = WorkerPool(catalog, workers)
+        pool = WorkerPool(catalog, workers, warm_epoch)
         holder._parallel_pool = pool
     return pool
 
@@ -368,6 +520,12 @@ class ParallelOutcome:
     wall_seconds: float = 0.0
     workers_used: int = 0
     partitions_run: int = 0
+    # One engine name per partition in dispatch order ("vector",
+    # "vector-adaptive", "vector-adaptive+fast", ...), plus the serial
+    # continuation's engine when one ran. The first in-worker gate reason
+    # is surfaced so EXPLAIN ANALYZE can say *why* a partition demoted.
+    worker_engines: list[str] = field(default_factory=list)
+    vector_gate: str | None = None
     # Work units on the critical path: per wave the slowest partition,
     # plus coordinator decisions and any serial continuation. Bounds
     # wall-clock on a machine with >= ``workers`` cores — the deterministic
@@ -498,7 +656,14 @@ class ParallelExecutor:
 
     # -- main entry ----------------------------------------------------
     def execute(self) -> ParallelOutcome | str:
-        """Run partitioned; returns an outcome or a fallback reason."""
+        """Run partitioned; returns an outcome or a fallback reason.
+
+        Serialized per holder: see :func:`_holder_parallel_lock`.
+        """
+        with _holder_parallel_lock(self.holder):
+            return self._execute_locked()
+
+    def _execute_locked(self) -> ParallelOutcome | str:
         config = self.config
         workers = config.workers
         reorders_driving = config.mode.reorders_driving
@@ -521,10 +686,18 @@ class ParallelExecutor:
         self._work_floor = self.catalog.meter.total_units
         if limits_armed and self.limits.timeout_seconds is not None:
             self._deadline = started_at + self.limits.timeout_seconds
-        pool = ensure_pool(self.holder, self.catalog, workers)
         worker_config = dataclasses.replace(
             _serial_config(config), mode=demote_worker_mode(config.mode)
         )
+        # Build columnar kernels/sidecars BEFORE (re)forking the pool, so
+        # workers inherit the arrays copy-on-write instead of each paying
+        # the build. A warm-up that built something bumps the epoch, which
+        # forces ensure_pool to re-fork with the arrays in place.
+        warm_epoch = getattr(self.holder, "_kernel_warm_epoch", 0)
+        if warm_kernel_plan(self.catalog, self.plan, worker_config):
+            warm_epoch += 1
+            self.holder._kernel_warm_epoch = warm_epoch
+        pool = ensure_pool(self.holder, self.catalog, workers, warm_epoch)
         expected_order = tuple(self.plan.order)
         total_entries = sum(p.entry_count or 0 for p in partitions)
 
@@ -557,6 +730,9 @@ class ParallelExecutor:
                 outcome.inner_reorders += result.inner_reorders
                 outcome.inner_checks += result.inner_checks
                 outcome.partitions_run += 1
+                outcome.worker_engines.append(result.engine)
+                if outcome.vector_gate is None and result.vector_gate:
+                    outcome.vector_gate = result.vector_gate
                 for event in result.events:
                     outcome.events.append(
                         dataclasses.replace(event, worker=worker_id)
@@ -706,6 +882,9 @@ class ParallelExecutor:
         for order in executor.order_history[1:]:
             outcome.order_history.append(order)
         outcome.final_order = tuple(executor.order)
+        outcome.worker_engines.append(executor.engine_used)
+        if outcome.vector_gate is None and executor.vector_gate_reason:
+            outcome.vector_gate = executor.vector_gate_reason
         if self.tracer is not None:
             self.tracer.event(
                 "serial-continuation",

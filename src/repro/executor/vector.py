@@ -21,9 +21,13 @@ layered array computation:
 
 Gates are strict — any unsupported shape returns ``None`` and the generic
 turbo loop runs instead. In particular the cascade requires: numpy, no
-probe caches, a fresh unpartitioned driving cursor, columnar tables and
-indexes on every leg, index-equality probes with no residual joins, no
-positional predicates, and vectorizable local predicates everywhere.
+probe caches, columnar tables and indexes on every leg, index-equality
+probes with no residual joins, no positional predicates, and vectorizable
+local predicates everywhere. Partitioned (and resumed) driving cursors are
+supported: the driving walk clamps each key range to the cursor's
+``start_after``/``stop_at`` bounds with the exact skip/termination rules
+of :class:`~repro.storage.cursor.IndexScanCursor`, which is how parallel
+workers run the cascade over their :class:`ScanPartition` slices.
 Like the rest of the turbo path this is only observably different from
 the scalar machine in *intermediate* meter states, which nothing can read
 (no limits, no observability, no faults, no oracle — enforced by the
@@ -32,6 +36,7 @@ turbo entry conditions).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.errors import ExecutionError
@@ -142,10 +147,6 @@ def vector_cascade(executor: "BatchedPipelineExecutor") -> Iterator | None:
     if cursor is None:
         executor.vector_gate_reason = "driving cursor not open"
         return None
-    if cursor.last_position is not None or cursor.stop_at is not None:
-        # Resumed or partitioned scans keep the generic walk.
-        executor.vector_gate_reason = "resumed or partitioned driving scan"
-        return None
 
     # -- driving leg: entry walk + residual-local masks -----------------
     leg0 = legs[0]
@@ -217,21 +218,50 @@ def _execute(
     meter = executor.catalog.meter
     leg0 = executor.legs[order[0]]
 
-    # Driving walk: the (key, RID) order of the ranges, or RID order.
+    # Driving walk: the (key, RID) order of the ranges, or RID order,
+    # clamped to the cursor's partition/resume bounds. The slice math
+    # reproduces IndexScanCursor._entries (and TurboDrivingScan's charge
+    # placement) exactly: ranges wholly behind ``start_after`` are skipped
+    # without a descend, every other range charges one descend even when
+    # empty after clamping, and the walk terminates at the first range
+    # where an entry at or past ``stop_at`` is actually seen — later
+    # ranges are never entered.
     if is_index:
         index0 = cursor.index
         index0._sidecar()
         ent_rids = index0._ent_rids
+        entries = index0._entries
+        start = cursor.last_position
+        stop = cursor.stop_at
+        stop_pos = bisect_left(entries, stop) if stop is not None else None
         slices = []
         walked = 0
+        descends = 0
         for key_range in cursor.ranges:
+            if start is not None:
+                high = key_range.high
+                if high is not None and (
+                    high < start[0]
+                    or (high == start[0] and not key_range.high_inclusive)
+                ):
+                    continue  # behind the resume position: no descend
             lo, hi = index0._range_bounds(
                 key_range.low,
                 key_range.high,
                 key_range.low_inclusive,
                 key_range.high_inclusive,
             )
-            if hi > lo:
+            if start is not None:
+                lo = max(lo, bisect_right(entries, (start[0], start[1])))
+            descends += 1
+            if stop_pos is not None:
+                cut = min(hi, max(lo, stop_pos))
+                if cut > lo:
+                    slices.append(ent_rids[lo:cut])
+                    walked += cut - lo
+                if lo < hi and stop_pos < hi:
+                    break  # the scalar walk sees an entry >= stop_at here
+            elif hi > lo:
                 slices.append(ent_rids[lo:hi])
                 walked += hi - lo
         if len(slices) == 1:
@@ -240,12 +270,16 @@ def _execute(
             walk = _np.concatenate(slices)
         else:
             walk = _np.zeros(0, dtype=_np.int64)
-        # One descend per range entered; a fresh full drain enters all.
-        meter.index_descends += len(cursor.ranges)
+        meter.index_descends += descends
         meter.index_entries += walked
     else:
-        walked = len(leg0.table)
-        walk = _np.arange(walked, dtype=_np.int64)
+        last = cursor.last_position
+        begin = 0 if last is None else last[0] + 1
+        end = len(leg0.table)
+        if cursor.stop_at is not None:
+            end = min(end, cursor.stop_at[0])
+        walked = max(0, end - begin)
+        walk = _np.arange(begin, begin + walked, dtype=_np.int64)
     # Every walked entry is a row fetch; residual locals charge
     # len(tests) per scanned row (the scalar driving walk's bulk rate).
     meter.row_fetches += walked

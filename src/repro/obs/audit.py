@@ -169,6 +169,14 @@ def render_replay(record: FlightRecord) -> str:
         f"work={_fmt(record.work_units)} wall={_fmt(record.wall_ms)}ms"
         + (f" (SLOW)" if record.slow else ""),
     ]
+    if record.worker_engines:
+        from repro.obs.explain import _compress_engines
+
+        lines.append(
+            f"  partition engines: {_compress_engines(record.worker_engines)}"
+        )
+    if record.vector_gate:
+        lines.append(f"  vector cascade gated: {record.vector_gate}")
     if record.session is not None:
         lines.append(
             f"  served: session={record.session} shed={record.shed} "

@@ -330,12 +330,23 @@ def record_storage_gauges(
         "storage_table_bytes", "resident bytes of one table's storage"
     )
     table_rows = registry.gauge("storage_table_rows", "row count of one table")
+    kernel_bytes = registry.gauge(
+        "storage_kernel_bytes",
+        "materialized kernel-plan bytes (sidecars + group kernels) per table",
+    )
     for entry in storage.get("per_table", ()):
         table_bytes.set(float(entry["bytes"]), entry["table"])
         table_rows.set(float(entry["rows"]), entry["table"])
+        if "kernel_bytes" in entry:
+            kernel_bytes.set(float(entry["kernel_bytes"]), entry["table"])
     registry.gauge(
         "storage_total_bytes", "resident bytes across all tables"
     ).set(float(storage.get("total_bytes", 0)))
+    registry.gauge(
+        "storage_kernel_plan_bytes",
+        "materialized kernel-plan bytes across all tables (COW-shared by "
+        "parallel workers)",
+    ).set(float(storage.get("kernel_plan_bytes", 0)))
     registry.gauge(
         "storage_table_count", "number of tables in the catalog"
     ).set(float(storage.get("table_count", 0)))

@@ -328,6 +328,11 @@ class FlightRecord:
     workers: int = 1
     # Which execution engine ran the pipeline (ExecutionStats.engine).
     engine: str = "unknown"
+    # Parallel runs: per-partition engines in dispatch order, plus the
+    # serial continuation's engine when one ran, and the first in-worker
+    # cascade gate reason (ExecutionStats.worker_engines / vector_gate).
+    worker_engines: list[str] = field(default_factory=list)
+    vector_gate: str | None = None
     legs: dict[str, dict[str, Any]] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
     decisions: list[DecisionRecord] = field(default_factory=list)
@@ -361,6 +366,8 @@ class FlightRecord:
             "batched": self.batched,
             "workers": self.workers,
             "engine": self.engine,
+            "worker_engines": list(self.worker_engines),
+            "vector_gate": self.vector_gate,
             "legs": _clean(self.legs),
             "events": _clean(self.events),
             "decisions": [decision.as_dict() for decision in self.decisions],
@@ -390,6 +397,8 @@ class FlightRecord:
             batched=data.get("batched", False),
             workers=data.get("workers", 1),
             engine=data.get("engine", "unknown"),
+            worker_engines=list(data.get("worker_engines", ())),
+            vector_gate=data.get("vector_gate"),
             legs=data.get("legs", {}),
             events=data.get("events", []),
             decisions=[
@@ -687,6 +696,14 @@ class FlightRecorder:
             batched=config.batched,
             workers=result.stats.workers if result is not None else 1,
             engine=result.stats.engine if result is not None else "unknown",
+            worker_engines=(
+                list(result.stats.worker_engines)
+                if result is not None
+                else []
+            ),
+            vector_gate=(
+                result.stats.vector_gate if result is not None else None
+            ),
             legs=_build_legs(plan, final_legs),
             events=(
                 [event_to_dict(event) for event in result.stats.events]

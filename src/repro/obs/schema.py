@@ -61,6 +61,8 @@ FLIGHT_FIELDS: dict[str, tuple[tuple, bool, bool]] = {
     "batched": ((bool,), False, False),
     "workers": ((int,), False, False),
     "engine": ((str,), False, False),
+    "worker_engines": ((list,), False, False),
+    "vector_gate": ((str,), False, True),
     "legs": ((dict,), True, False),
     "events": ((list,), True, False),
     "decisions": ((list,), True, False),

@@ -40,7 +40,12 @@ from repro.robustness.limits import CancellationToken, ExecutionLimits
 from repro.server.protocol import ErrorCode, QueryRequest
 from repro.server.session import Session
 
-#: Degradation ladder levels, mildest first.
+#: Degradation ladder levels, mildest first. On the columnar backend the
+#: rungs map onto the vectorized engines: ``none`` runs the parallel
+#: vectorized cascades (per-worker adaptive chunks), ``serial`` the
+#: single-process adaptive cascade, and ``static`` the non-adaptive
+#: whole-query cascade — each rung sheds coordination cost, never the
+#: kernel execution itself.
 SHED_NONE = "none"      # requested config, parallelism allowed
 SHED_SERIAL = "serial"  # strip intra-query parallelism
 SHED_STATIC = "static"  # strip the adaptive layer: static plan, serial

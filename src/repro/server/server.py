@@ -92,6 +92,9 @@ class EngineResult:
     degraded: bool
     workers: int
     plan_cache: str  # hit / miss / wait / off
+    # Which execution engine ran (ExecutionStats.engine) — lets load
+    # clients assert parallel-vector engagement from the stats op.
+    engine: str = "scalar"
     # Flight-recorder context (None/0 when the engine records nothing).
     query_id: str | None = None
     slow: bool = False
@@ -200,6 +203,7 @@ class DatabaseEngine:
             degraded=result.stats.degraded,
             workers=result.stats.workers,
             plan_cache=outcome,
+            engine=result.stats.engine,
             query_id=record.query_id,
             slow=record.slow,
             probe_cache_hits=result.stats.work.probe_cache_hits,
@@ -522,7 +526,9 @@ class QueryServer:
                 "workers": result.workers,
                 "shed": shed,
                 "plan_cache": result.plan_cache,
+                "engine": getattr(result, "engine", "scalar"),
             }
+            self.metrics.counter("server_engine_total").inc(stats["engine"])
             query_id = getattr(result, "query_id", None)
             if query_id is not None:
                 stats["query_id"] = query_id
@@ -679,6 +685,7 @@ class QueryServer:
                 "backend": "none",
                 "total_bytes": 0,
                 "table_count": 0,
+                "kernel_plan_bytes": 0,
                 "per_table": [],
             }
         record_storage_gauges(self.metrics, storage)
@@ -754,7 +761,11 @@ class QueryServer:
                 "backend": storage["backend"],
                 "total_bytes": storage["total_bytes"],
                 "table_count": storage["table_count"],
+                "kernel_plan_bytes": storage.get("kernel_plan_bytes", 0),
             },
+            "engines": dict(
+                self.metrics.counter("server_engine_total").as_dict()
+            ),
             "per_table": storage["per_table"],
             "per_session": [
                 {

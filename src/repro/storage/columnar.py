@@ -931,6 +931,34 @@ class ColumnarIndex(SortedIndex):
         rank, _, _ = self._sidecar()
         return kernel, self._keys_np, rank
 
+    def kernel_footprint(self) -> int:
+        """Approximate resident bytes of the cascade sidecar + kernel plan.
+
+        This is the copy-on-write state parallel workers inherit at fork
+        (after the pre-fork warm-up): the numpy entry-RID / distinct-key
+        sidecars plus every memoized group kernel of the current
+        generation. Reports 0 while the sidecar is unbuilt or stale —
+        a stats read must never force a lazy build.
+        """
+        if self._gen is None or self._gen != self._generation():
+            return 0
+        total = 0
+        for array in (self._ent_rids, self._keys_np):
+            nbytes = getattr(array, "nbytes", None)
+            if nbytes is not None:
+                total += int(nbytes)
+        for kernel in self._kernels.values():
+            for name in ("totals", "evals", "pass_offsets", "pass_rids"):
+                nbytes = getattr(getattr(kernel, name), "nbytes", None)
+                if nbytes is not None:
+                    total += int(nbytes)
+            for group in (kernel.ev, kernel.pa):
+                for array in group:
+                    nbytes = getattr(array, "nbytes", None)
+                    if nbytes is not None:
+                        total += int(nbytes)
+        return total
+
 
 class _SentinelType:
     __slots__ = ()

@@ -49,6 +49,16 @@ CONFIGS = [
         "probe_cache_size": 256,
     }),
     ("workers-2", {"batched": True, "workers": 2}),
+    ("workers-2-chunk", {
+        "batched": True,
+        "monitor_granularity": "chunk",
+        "workers": 2,
+    }),
+    ("workers-4-chunk", {
+        "batched": True,
+        "monitor_granularity": "chunk",
+        "workers": 4,
+    }),
 ]
 
 
@@ -128,6 +138,65 @@ def test_adaptive_vector_engine_engages(columnar_db, workload):
             assert engines == {"fast"}, engines
 
 
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_vector_engines_engage(columnar_db, workload, workers):
+    """Parallel columnar chunk runs report the real per-worker engines:
+    with numpy every partition (and any serial continuation) runs a
+    vectorized cascade — mode NONE the static cascade, monitored modes
+    the adaptive cascade; without numpy the whole query falls back
+    cleanly to the generic loops with the gate reason recorded."""
+    from repro.storage.columnar import _np as have_numpy
+
+    for mode, vector_engines in (
+        (ReorderMode.NONE, {"vector"}),
+        (ReorderMode.BOTH, {"vector-adaptive", "vector-adaptive+fast"}),
+    ):
+        config = AdaptiveConfig(
+            mode=mode,
+            batched=True,
+            monitor_granularity="chunk",
+            workers=workers,
+        )
+        for sql in workload:
+            stats = columnar_db.execute(sql, config).stats
+            assert stats.engine == "parallel", (mode.name, sql[:60])
+            assert stats.workers == workers
+            assert stats.worker_engines, (mode.name, sql[:60])
+            engines = set(stats.worker_engines)
+            if have_numpy is not None:
+                assert engines <= vector_engines, (mode.name, engines)
+                assert stats.vector_gate is None, stats.vector_gate
+            else:
+                assert not any(
+                    engine.startswith("vector") for engine in engines
+                ), engines
+                assert (
+                    stats.vector_gate
+                    == "numpy unavailable (stdlib fallback)"
+                )
+
+
+def test_parallel_warmup_kernel_gauge(columnar_db, workload):
+    """The pre-fork warm-up leaves the kernel plan materialized on the
+    catalog, observable through the storage_stats gauge workers COW-share."""
+    from repro.storage.columnar import _np as have_numpy
+
+    if have_numpy is None:
+        pytest.skip("kernel plan needs numpy")
+    config = AdaptiveConfig(
+        mode=ReorderMode.BOTH,
+        batched=True,
+        monitor_granularity="chunk",
+        workers=2,
+    )
+    columnar_db.execute(workload[-1], config)
+    stats = columnar_db.storage_stats()
+    assert stats["kernel_plan_bytes"] > 0
+    assert stats["kernel_plan_bytes"] == sum(
+        entry["kernel_bytes"] for entry in stats["per_table"]
+    )
+
+
 def test_stdlib_fallback_gate_reason(columnar_db, workload):
     """The stdlib (no-numpy) fallback names its gate instead of failing:
     a chunk-config columnar query that cannot run the vectorized cascade
@@ -147,10 +216,12 @@ def _flight_record_dict(db, sql, config):
     """One query's flight record, normalized for cross-backend comparison.
 
     ``query_id``/``ts``/``wall_ms`` are run-local (counter, clock);
-    ``engine`` is the one *expected* cross-backend difference — the whole
-    point of the differential is that a different engine produces the
-    same record; the per-leg wall figures inside ``legs`` stay because
-    the audit snapshots carry only deterministic counters.
+    ``engine`` (and its companions ``worker_engines``/``vector_gate``,
+    which name the engine that ran and why a cascade did not) is the one
+    *expected* cross-backend difference — the whole point of the
+    differential is that a different engine produces the same record;
+    the per-leg wall figures inside ``legs`` stay because the audit
+    snapshots carry only deterministic counters.
     """
     from repro.obs.recorder import FlightRecorder
 
@@ -159,7 +230,8 @@ def _flight_record_dict(db, sql, config):
     result = db.execute(sql, config, obs=bundle)
     record = recorder.finish_query(bundle, result, sql=sql, config=config)
     data = record.to_dict()
-    for key in ("query_id", "ts", "wall_ms", "engine"):
+    for key in ("query_id", "ts", "wall_ms", "engine", "worker_engines",
+                "vector_gate"):
         data.pop(key, None)
     return data
 
